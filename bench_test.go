@@ -1,0 +1,292 @@
+// Benchmarks regenerating the paper's evaluation (§4): one benchmark per
+// table/figure (E1-E5, see DESIGN.md) plus ablations of the design choices.
+// Custom metrics carry the headline numbers alongside the timing so a
+// single `go test -bench=. -benchmem` run reproduces the evaluation.
+package webrev_test
+
+import (
+	"testing"
+
+	"webrev/internal/baseline"
+	"webrev/internal/concept"
+	"webrev/internal/convert"
+	"webrev/internal/corpus"
+	"webrev/internal/dom"
+	"webrev/internal/experiments"
+	"webrev/internal/metrics"
+	"webrev/internal/schema"
+)
+
+// BenchmarkE1Accuracy regenerates Figure 4 (§4.1): conversion accuracy over
+// 50 documents. Reported: errors/doc (paper 3.9), concept nodes/doc (paper
+// 53.7), accuracy % (paper 90.8).
+func BenchmarkE1Accuracy(b *testing.B) {
+	var r experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunAccuracy(50, 1)
+	}
+	b.ReportMetric(r.Aggregate.AvgErrors, "errors/doc")
+	b.ReportMetric(r.Aggregate.AvgConceptNodes, "concepts/doc")
+	b.ReportMetric(r.Aggregate.Accuracy()*100, "accuracy%")
+}
+
+// BenchmarkE2Constraints regenerates §4.2: search-space reduction through
+// concept constraints. Reported: admissible nodes (paper 1,871 of
+// 7,962,623) and explored nodes (paper 73).
+func BenchmarkE2Constraints(b *testing.B) {
+	var r experiments.ConstraintsResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunConstraints(100, 1)
+	}
+	b.ReportMetric(float64(r.Constrained), "admissible")
+	b.ReportMetric(float64(r.ExploredConstrained), "explored")
+	b.ReportMetric(float64(r.Exhaustive), "exhaustive")
+}
+
+// BenchmarkE3Scalability regenerates Figure 5 (§4.3): full pipeline running
+// time for growing corpus sizes up to the paper's 380 documents. The
+// per-size timings are the figure's series; concept-node counts are
+// reported so the linearity can be checked.
+func BenchmarkE3Scalability(b *testing.B) {
+	for _, n := range []int{20, 95, 190, 380} {
+		b.Run(benchName(n), func(b *testing.B) {
+			var r experiments.ScalabilityResult
+			for i := 0; i < b.N; i++ {
+				r = experiments.RunScalability([]int{n}, 1)
+			}
+			p := r.Points[0]
+			b.ReportMetric(float64(p.ConceptNodes), "concept-nodes")
+			b.ReportMetric(float64(p.Nodes), "nodes")
+			b.ReportMetric(p.Millis, "pipeline-ms")
+		})
+	}
+}
+
+func benchName(n int) string {
+	switch {
+	case n < 100:
+		return "docs=0" + itoa(n)
+	default:
+		return "docs=" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkE4SampleDTD regenerates §4.4: schema discovery and DTD
+// derivation over a large corpus (the paper used >1400 resumes and found a
+// 20-element DTD).
+func BenchmarkE4SampleDTD(b *testing.B) {
+	var r experiments.DTDResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunSampleDTD(1400, 1)
+	}
+	b.ReportMetric(float64(r.Elements), "dtd-elements")
+}
+
+// BenchmarkE5SchemaComparison runs the majority-vs-DataGuide-vs-lower-bound
+// ablation behind the paper's claim that repository integration needs a
+// majority schema. Reported: average mapping cost per document for the
+// majority schema and for the DataGuide.
+func BenchmarkE5SchemaComparison(b *testing.B) {
+	var r experiments.SchemaComparisonResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunSchemaComparison(200, 1)
+	}
+	for _, v := range r.Variants {
+		switch v.Name {
+		case "majority-0.3":
+			b.ReportMetric(v.AvgMapCost, "majority-cost/doc")
+		case "dataguide":
+			b.ReportMetric(v.AvgMapCost, "dataguide-cost/doc")
+		case "lower-bound":
+			b.ReportMetric(v.AvgMapCost, "lowerbound-cost/doc")
+		}
+	}
+}
+
+// BenchmarkE6Classifier runs the incomplete-vocabulary ablation of the
+// Bayes classifier (§2.3.1). Reported: identified-token ratio with and
+// without the classifier.
+func BenchmarkE6Classifier(b *testing.B) {
+	var r experiments.ClassifierResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunClassifier(40, 40, 1)
+	}
+	b.ReportMetric(r.RatioWithout*100, "ratio-without%")
+	b.ReportMetric(r.RatioWith*100, "ratio-with%")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations of individual design choices (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+func corpusHTML(n int, seed int64) []string {
+	g := corpus.New(corpus.Options{Seed: seed})
+	var out []string
+	for _, r := range g.Corpus(n) {
+		out = append(out, r.HTML)
+	}
+	return out
+}
+
+// BenchmarkAblationConstraints compares conversion quality with and without
+// concept constraints guiding consolidation.
+func BenchmarkAblationConstraints(b *testing.B) {
+	g := corpus.New(corpus.Options{Seed: 2})
+	docs := g.Corpus(50)
+	for _, withCons := range []bool{true, false} {
+		name := "constraints=on"
+		opts := convert.Options{RootName: "resume", Constraints: concept.ResumeConstraints()}
+		if !withCons {
+			name = "constraints=off"
+			opts = convert.Options{RootName: "resume"}
+		}
+		b.Run(name, func(b *testing.B) {
+			conv := convert.New(concept.ResumeSet(), opts)
+			for i := 0; i < b.N; i++ {
+				for _, d := range docs {
+					conv.Convert(d.HTML)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGrouping quantifies the grouping rule's contribution:
+// conversion accuracy against ground truth with and without the rule. The
+// metric is the corpus accuracy; timing shows the rule's cost.
+func BenchmarkAblationGrouping(b *testing.B) {
+	g := corpus.New(corpus.Options{Seed: 6})
+	docs := g.Corpus(50)
+	for _, skip := range []bool{false, true} {
+		name := "grouping=on"
+		if skip {
+			name = "grouping=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			conv := convert.New(concept.ResumeSet(), convert.Options{
+				RootName:     "resume",
+				Constraints:  concept.ResumeConstraints(),
+				SkipGrouping: skip,
+			})
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				var rs []metrics.Result
+				for _, d := range docs {
+					x, _ := conv.Convert(d.HTML)
+					rs = append(rs, metrics.Compare(x, d.Truth))
+				}
+				acc = metrics.Summarize(rs).Accuracy()
+			}
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+// BenchmarkAblationTidy measures the cost of the HTML cleansing pass the
+// paper recommends (§2.4).
+func BenchmarkAblationTidy(b *testing.B) {
+	htmls := corpusHTML(50, 3)
+	for _, skip := range []bool{false, true} {
+		name := "tidy=on"
+		if skip {
+			name = "tidy=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			conv := convert.New(concept.ResumeSet(), convert.Options{
+				RootName: "resume", SkipTidy: skip,
+				Constraints: concept.ResumeConstraints(),
+			})
+			for i := 0; i < b.N; i++ {
+				for _, h := range htmls {
+					conv.Convert(h)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPathModel compares the paper's label-path model against
+// the node-identifier model of Wang–Liu [26], which models trees "too
+// precisely": the metric is the path-set blowup the simplification avoids.
+func BenchmarkAblationPathModel(b *testing.B) {
+	g := corpus.New(corpus.Options{Seed: 4})
+	conv := convert.New(concept.ResumeSet(), convert.Options{
+		RootName: "resume", Constraints: concept.ResumeConstraints(),
+	})
+	var trees []*dom.Node
+	for _, r := range g.Corpus(100) {
+		x, _ := conv.Convert(r.HTML)
+		trees = append(trees, x)
+	}
+	b.Run("label-paths", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			labels := make(map[string]bool)
+			for _, t := range trees {
+				for p := range schema.Extract(t).Paths {
+					labels[p] = true
+				}
+			}
+			n = len(labels)
+		}
+		b.ReportMetric(float64(n), "distinct-paths")
+	})
+	b.Run("node-id-paths", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			ids := make(map[string]bool)
+			for _, t := range trees {
+				for p := range baseline.NodeIDPaths(t) {
+					ids[p] = true
+				}
+			}
+			n = len(ids)
+		}
+		b.ReportMetric(float64(n), "distinct-paths")
+	})
+}
+
+// BenchmarkAblationMinerPruning isolates the miner's constraint pruning on
+// a fixed converted corpus.
+func BenchmarkAblationMinerPruning(b *testing.B) {
+	g := corpus.New(corpus.Options{Seed: 5})
+	conv := convert.New(concept.ResumeSet(), convert.Options{
+		RootName: "resume", Constraints: concept.ResumeConstraints(),
+	})
+	var docs []*schema.DocPaths
+	for _, r := range g.Corpus(200) {
+		x, _ := conv.Convert(r.HTML)
+		docs = append(docs, schema.Extract(x))
+	}
+	b.Run("pruning=on", func(b *testing.B) {
+		m := &schema.Miner{SupThreshold: 0.3, RatioThreshold: 0.1,
+			Constraints: concept.ResumeConstraints(), Set: concept.ResumeSet()}
+		var explored int
+		for i := 0; i < b.N; i++ {
+			explored = m.Discover(docs).Explored
+		}
+		b.ReportMetric(float64(explored), "explored")
+	})
+	b.Run("pruning=off", func(b *testing.B) {
+		m := &schema.Miner{SupThreshold: 0.3, RatioThreshold: 0.1}
+		var explored int
+		for i := 0; i < b.N; i++ {
+			explored = m.Discover(docs).Explored
+		}
+		b.ReportMetric(float64(explored), "explored")
+	})
+}

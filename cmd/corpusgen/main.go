@@ -1,0 +1,65 @@
+// Command corpusgen writes a synthetic resume corpus to disk: the
+// heterogeneous HTML documents plus, optionally, the ground-truth XML trees
+// used by the accuracy experiment.
+//
+// Usage:
+//
+//	corpusgen -n 100 -seed 1 -out ./corpus [-truth]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"webrev/internal/corpus"
+	"webrev/internal/xmlout"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of resumes to generate")
+	seed := flag.Int64("seed", 1, "generator seed (same seed, same corpus)")
+	out := flag.String("out", "corpus", "output directory")
+	truth := flag.Bool("truth", false, "also write ground-truth XML next to each document")
+	distractors := flag.Int("distractors", 0, "additional off-topic pages")
+	flag.Parse()
+
+	if err := run(*n, *seed, *out, *truth, *distractors); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, out string, truth bool, distractors int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	g := corpus.New(corpus.Options{Seed: seed})
+	for _, r := range g.Corpus(n) {
+		base := filepath.Join(out, fmt.Sprintf("resume-%04d", r.ID))
+		if err := os.WriteFile(base+".html", []byte(r.HTML), 0o644); err != nil {
+			return err
+		}
+		if truth {
+			if err := os.WriteFile(base+".truth.xml", []byte(xmlout.Marshal(r.Truth)), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < distractors; i++ {
+		name := filepath.Join(out, fmt.Sprintf("page-%04d.html", i+1))
+		if err := os.WriteFile(name, []byte(g.Distractor()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d resumes%s to %s\n", n, distractorNote(distractors), out)
+	return nil
+}
+
+func distractorNote(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" and %d distractor pages", n)
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+func TestRunCrawlDemo(t *testing.T) {
+	// Smoke test: the demo serves a site, crawls it and reports without
+	// error (output goes to stdout, which the test harness captures).
+	if err := run(5, 2, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+// Command webrev drives the full pipeline from the shell: convert HTML
+// files to XML, discover a majority schema, derive a DTD, map documents to
+// conform, and regenerate the paper's experiments.
+//
+// Usage:
+//
+//	webrev convert  [-root resume] file.html...        # HTML -> XML on stdout
+//	webrev schema   [-sup 0.5] [-ratio 0.1] file.html...
+//	webrev dtd      [-sup 0.5] [-ratio 0.1] file.html...
+//	webrev build    [-out dir] file.html...            # full repository
+//	webrev experiments [-run E1,...] [-docs N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"webrev/internal/concept"
+	"webrev/internal/core"
+	"webrev/internal/discover"
+	"webrev/internal/dom"
+	"webrev/internal/experiments"
+	"webrev/internal/repository"
+	"webrev/internal/xmlout"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "convert":
+		err = cmdConvert(os.Args[2:], os.Stdout)
+	case "schema":
+		err = cmdSchema(os.Args[2:], false, os.Stdout)
+	case "dtd":
+		err = cmdSchema(os.Args[2:], true, os.Stdout)
+	case "build":
+		err = cmdBuild(os.Args[2:], os.Stdout)
+	case "query":
+		err = cmdQuery(os.Args[2:], os.Stdout)
+	case "suggest":
+		err = cmdSuggest(os.Args[2:], os.Stdout)
+	case "experiments":
+		err = cmdExperiments(os.Args[2:], os.Stdout)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "webrev: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webrev:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: webrev <command> [flags] [files]
+
+commands:
+  convert      transform HTML files into concept-tagged XML
+  schema       discover the majority schema over HTML files
+  dtd          derive the DTD over HTML files
+  build        full pipeline: convert, discover, derive, conform
+  query        evaluate a label-path query against a built repository
+  suggest      propose new concept instances from unidentified text
+  experiments  regenerate the paper's evaluation (E1-E6)
+`)
+}
+
+func newPipeline(root string, sup, ratio float64) (*core.Pipeline, error) {
+	return core.New(core.Config{
+		Concepts:       concept.ResumeConcepts(),
+		Constraints:    concept.ResumeConstraints(),
+		RootName:       root,
+		SupThreshold:   sup,
+		RatioThreshold: ratio,
+	})
+}
+
+func readSources(paths []string) ([]core.Source, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no input files")
+	}
+	var out []core.Source
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Source{Name: p, HTML: string(b)})
+	}
+	return out, nil
+}
+
+func cmdConvert(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	root := fs.String("root", "resume", "root element name")
+	fs.Parse(args)
+	p, err := newPipeline(*root, 0, 0)
+	if err != nil {
+		return err
+	}
+	srcs, err := readSources(fs.Args())
+	if err != nil {
+		return err
+	}
+	for _, s := range srcs {
+		doc := p.Convert(s.Name, s.HTML)
+		fmt.Fprintf(w, "<!-- %s: %d tokens, %.0f%% identified -->\n",
+			s.Name, doc.Stats.Tokens, doc.Stats.IdentifiedRatio()*100)
+		fmt.Fprint(w, xmlout.Marshal(doc.XML))
+	}
+	return nil
+}
+
+func cmdSchema(args []string, asDTD bool, w io.Writer) error {
+	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	root := fs.String("root", "resume", "root element name")
+	sup := fs.Float64("sup", 0.5, "support threshold")
+	ratio := fs.Float64("ratio", 0.1, "support-ratio threshold")
+	fs.Parse(args)
+	p, err := newPipeline(*root, *sup, *ratio)
+	if err != nil {
+		return err
+	}
+	srcs, err := readSources(fs.Args())
+	if err != nil {
+		return err
+	}
+	var docs []*core.Document
+	for _, s := range srcs {
+		docs = append(docs, p.Convert(s.Name, s.HTML))
+	}
+	s := p.DiscoverSchema(docs)
+	if asDTD {
+		fmt.Fprint(w, p.DeriveDTD(s).Render())
+		return nil
+	}
+	fmt.Fprintf(w, "majority schema over %d documents (%d paths explored):\n%s",
+		s.Docs, s.Explored, s.String())
+	return nil
+}
+
+func cmdBuild(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	root := fs.String("root", "resume", "root element name")
+	sup := fs.Float64("sup", 0.5, "support threshold")
+	ratio := fs.Float64("ratio", 0.1, "support-ratio threshold")
+	out := fs.String("out", "", "directory for the conformed XML repository")
+	fs.Parse(args)
+	p, err := newPipeline(*root, *sup, *ratio)
+	if err != nil {
+		return err
+	}
+	srcs, err := readSources(fs.Args())
+	if err != nil {
+		return err
+	}
+	repo, err := p.Build(srcs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "converted %d documents; schema %d paths; DTD %d elements\n",
+		len(repo.Docs), len(repo.Schema.Paths()), repo.DTD.Len())
+	fmt.Fprintf(w, "pre-mapping conformance %.1f%%, total mapping cost %d edits\n",
+		repo.ConformanceRate()*100, repo.TotalMapCost())
+	fmt.Fprint(w, repo.DTD.Render())
+	if *out == "" {
+		return nil
+	}
+	stored := repository.New(repo.DTD)
+	for i, c := range repo.Conformed {
+		if err := stored.Add(repo.Docs[i].Source, c); err != nil {
+			return err
+		}
+	}
+	if err := stored.Save(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d XML documents and schema.dtd to %s\n", stored.Len(), *out)
+	return nil
+}
+
+func cmdQuery(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("repo", "", "repository directory written by `webrev build -out`")
+	fs.Parse(args)
+	if *dir == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: webrev query -repo DIR 'EXPR'")
+	}
+	repo, err := repository.Load(*dir)
+	if err != nil {
+		return err
+	}
+	refs, err := repo.Query(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	names := repo.Names()
+	for _, r := range refs {
+		fmt.Fprintf(w, "%s\t<%s val=%q>\n", names[r.Doc], r.Node.Tag, r.Node.Val())
+	}
+	fmt.Fprintf(w, "%d matches in %d documents\n", len(refs), repo.Len())
+	return nil
+}
+
+func cmdSuggest(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	root := fs.String("root", "resume", "root element name")
+	minDocs := fs.Int("mindocs", 3, "minimum supporting documents")
+	fs.Parse(args)
+	p, err := newPipeline(*root, 0, 0)
+	if err != nil {
+		return err
+	}
+	srcs, err := readSources(fs.Args())
+	if err != nil {
+		return err
+	}
+	var trees []*dom.Node
+	for _, d := range p.ConvertAll(srcs) {
+		trees = append(trees, d.XML)
+	}
+	suggestions := discover.SuggestInstances(trees, p.Set(), discover.Options{MinDocs: *minDocs})
+	if len(suggestions) == 0 {
+		fmt.Fprintln(w, "no instance candidates found")
+		return nil
+	}
+	fmt.Fprintf(w, "%-20s %-18s %5s  example\n", "concept context", "candidate", "docs")
+	for _, s := range suggestions {
+		example := ""
+		if len(s.Examples) > 0 {
+			example = s.Examples[0]
+		}
+		fmt.Fprintf(w, "%-20s %-18s %5d  %s\n", s.Concept, s.Instance, s.Docs, example)
+	}
+	return nil
+}
+
+func cmdExperiments(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	run := fs.String("run", "E1,E2,E3,E4,E5,E6", "comma-separated experiment ids")
+	docs := fs.Int("docs", 0, "override corpus size (0 = per-experiment default)")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	fs.Parse(args)
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	n := func(def int) int {
+		if *docs > 0 {
+			return *docs
+		}
+		return def
+	}
+	if want["E1"] {
+		fmt.Fprintln(w, experiments.RunAccuracy(n(50), *seed).Report())
+	}
+	if want["E2"] {
+		fmt.Fprintln(w, experiments.RunConstraints(n(100), *seed).Report())
+	}
+	if want["E3"] {
+		sizes := []int{20, 50, 100, 190, 380}
+		if *docs > 0 {
+			sizes = []int{*docs / 4, *docs / 2, *docs}
+		}
+		fmt.Fprintln(w, experiments.RunScalability(sizes, *seed).Report())
+	}
+	if want["E4"] {
+		fmt.Fprintln(w, experiments.RunSampleDTD(n(1400), *seed).Report())
+	}
+	if want["E5"] {
+		fmt.Fprintln(w, experiments.RunSchemaComparison(n(200), *seed).Report())
+	}
+	if want["E6"] {
+		fmt.Fprintln(w, experiments.RunClassifier(n(80)/2, n(80)/2, *seed).Report())
+	}
+	return nil
+}

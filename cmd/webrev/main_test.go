@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeResume writes a small well-formed resume file and returns its path.
+func writeResume(t *testing.T, dir, name string) string {
+	t.Helper()
+	html := `<html><body><h1>Test Person</h1>
+<h2>Education</h2><ul><li>University of Testing, B.S. Computer Science, June 1996</li></ul>
+<h2>Experience</h2><p>Acme Inc, Software Engineer, January 1998 - June 2000, Developed tools</p>
+<h2>Skills</h2><p>Java, SQL</p>
+</body></html>`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(html), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdConvert(t *testing.T) {
+	dir := t.TempDir()
+	f := writeResume(t, dir, "a.html")
+	var out strings.Builder
+	if err := cmdConvert([]string{f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"<resume", "<education", "<institution", "identified"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCmdConvertNoFiles(t *testing.T) {
+	var out strings.Builder
+	if err := cmdConvert(nil, &out); err == nil {
+		t.Fatal("expected error for no input files")
+	}
+	if err := cmdConvert([]string{"/no/such/file.html"}, &out); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestCmdSchemaAndDTD(t *testing.T) {
+	dir := t.TempDir()
+	files := []string{
+		writeResume(t, dir, "a.html"),
+		writeResume(t, dir, "b.html"),
+	}
+	var schemaOut strings.Builder
+	if err := cmdSchema(append([]string{"-sup", "0.5"}, files...), false, &schemaOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(schemaOut.String(), "majority schema over 2 documents") {
+		t.Fatalf("schema output:\n%s", schemaOut.String())
+	}
+	var dtdOut strings.Builder
+	if err := cmdSchema(append([]string{"-sup", "0.5"}, files...), true, &dtdOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dtdOut.String(), "<!ELEMENT resume") {
+		t.Fatalf("dtd output:\n%s", dtdOut.String())
+	}
+}
+
+func TestCmdBuildAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	files := []string{
+		writeResume(t, dir, "a.html"),
+		writeResume(t, dir, "b.html"),
+		writeResume(t, dir, "c.html"),
+	}
+	repoDir := filepath.Join(dir, "repo")
+	var out strings.Builder
+	if err := cmdBuild(append([]string{"-sup", "0.5", "-out", repoDir}, files...), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 3 XML documents") {
+		t.Fatalf("build output:\n%s", out.String())
+	}
+	var qOut strings.Builder
+	if err := cmdQuery([]string{"-repo", repoDir, "//institution"}, &qOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qOut.String(), "matches in 3 documents") {
+		t.Fatalf("query output:\n%s", qOut.String())
+	}
+	// Errors.
+	if err := cmdQuery([]string{"-repo", repoDir}, &qOut); err == nil {
+		t.Fatal("missing expression should error")
+	}
+	if err := cmdQuery([]string{"-repo", filepath.Join(dir, "nope"), "//x"}, &qOut); err == nil {
+		t.Fatal("missing repo should error")
+	}
+	if err := cmdQuery([]string{"-repo", repoDir, "bad query"}, &qOut); err == nil {
+		t.Fatal("bad query should error")
+	}
+}
+
+func TestCmdExperimentsSmall(t *testing.T) {
+	var out strings.Builder
+	err := cmdExperiments([]string{"-run", "E1,E2", "-docs", "10", "-seed", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "E1 —") || !strings.Contains(got, "E2 —") {
+		t.Fatalf("experiments output:\n%s", got)
+	}
+	if strings.Contains(got, "E3 —") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestCmdSuggest(t *testing.T) {
+	dir := t.TempDir()
+	var files []string
+	for i := 0; i < 4; i++ {
+		files = append(files, writeResume(t, dir, filepath.Join(fmt.Sprintf("s%d.html", i))))
+	}
+	var out strings.Builder
+	if err := cmdSuggest(append([]string{"-mindocs", "3"}, files...), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "candidate") && !strings.Contains(got, "no instance candidates") {
+		t.Fatalf("suggest output:\n%s", got)
+	}
+}

@@ -1,0 +1,57 @@
+package webrev_test
+
+import (
+	"fmt"
+	"log"
+
+	"webrev"
+)
+
+// ExampleNewResumePipeline converts one small resume and prints the
+// discovered structure as label paths.
+func ExampleNewResumePipeline() {
+	pipe, err := webrev.NewResumePipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := pipe.Convert("cv", `<body>
+<h2>Education</h2>
+<ul><li>University of Nowhere, B.S. Computer Science, June 1996</li></ul>
+</body>`)
+	edu := doc.XML.FindElement("education")
+	inst := edu.FindElement("institution")
+	fmt.Println(doc.XML.Tag + "/" + edu.Tag + "/" + inst.Tag)
+	fmt.Println(inst.Val())
+	// Output:
+	// resume/education/institution
+	// University of Nowhere
+}
+
+// ExamplePipeline_Build runs the full pipeline over two documents and
+// prints the derived DTD's root declaration.
+func ExamplePipeline_Build() {
+	pipe, err := webrev.New(webrev.Config{
+		Concepts: []webrev.Concept{
+			{Name: "menu", Role: webrev.RoleTitle, Instances: []string{"dishes"}},
+			{Name: "price", Role: webrev.RoleContent, Instances: []string{"eur", "usd"}},
+		},
+		RootName:     "restaurant",
+		SupThreshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sources := []webrev.Source{
+		{Name: "a", HTML: `<body><h2>Dishes</h2><p>Soup, 4 EUR</p><p>Pasta, 9 EUR</p><p>Cake, 3 EUR</p></body>`},
+		{Name: "b", HTML: `<body><h2>Dishes</h2><p>Salad, 5 USD</p><p>Stew, 7 USD</p><p>Pie, 4 USD</p></body>`},
+	}
+	repo, err := pipe.Build(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(repo.DTD.RenderElements())
+	// Output:
+	// <!ELEMENT restaurant ((#PCDATA), menu)>
+	// <!ELEMENT menu       ((#PCDATA), price+)>
+	// <!ELEMENT price      (#PCDATA)>
+}

@@ -1,0 +1,125 @@
+// Job postings: the pipeline on a second topic, showing that the
+// restructuring rules and schema discovery are domain independent — only
+// the concepts, instances and constraints change (paper §2.2: concepts are
+// the minimal user input).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webrev"
+	"webrev/internal/corpus"
+)
+
+// The topic vocabulary a user would specify after inspecting a few job
+// posting pages.
+func jobConcepts() []webrev.Concept {
+	return []webrev.Concept{
+		{Name: "position", Role: webrev.RoleTitle, Instances: []string{
+			"job title", "position title", "role", "opening", "vacancy",
+		}},
+		{Name: "requirements", Role: webrev.RoleTitle, Instances: []string{
+			"qualifications", "required skills", "must have", "we require",
+		}},
+		{Name: "responsibilities", Role: webrev.RoleTitle, Instances: []string{
+			"duties", "what you will do", "the role involves",
+		}},
+		{Name: "compensation", Role: webrev.RoleTitle, Instances: []string{
+			"salary", "pay", "benefits", "we offer",
+		}},
+		{Name: "about", Role: webrev.RoleTitle, Instances: []string{
+			"about us", "company profile", "who we are",
+		}},
+		{Name: "employer", Role: webrev.RoleContent, Instances: []string{
+			"inc", "corp", "llc", "company", "corporation",
+		}},
+		{Name: "location", Role: webrev.RoleContent, Instances: []string{
+			"san jose", "remote", "on-site", "new york", "headquarters",
+		}},
+		{Name: "skill", Role: webrev.RoleContent, Instances: []string{
+			"java", "c++", "sql", "perl", "unix", "html", "xml",
+		}},
+		{Name: "experience-years", Role: webrev.RoleContent, Instances: []string{
+			"years of experience", "years experience", "1+ years", "3+ years", "5+ years",
+		}},
+		{Name: "degree", Role: webrev.RoleContent, Instances: []string{
+			"b.s.", "m.s.", "bachelor", "master", "ph.d.",
+		}},
+		{Name: "amount", Role: webrev.RoleContent, Instances: []string{
+			"per year", "per hour", "annually", "stock options", "401k",
+		}},
+	}
+}
+
+// Three postings from "different sites": same topic, different markup.
+var postings = []webrev.Source{
+	{Name: "site-a", HTML: `
+<html><body>
+<h1>Opening: Senior Developer</h1>
+<h2>About Us</h2><p>Initech Corp, San Jose. We build workflow software.</p>
+<h2>Requirements</h2><ul>
+  <li>B.S. in a technical field</li>
+  <li>5+ years experience, Java, SQL</li>
+  <li>Unix, XML</li>
+</ul>
+<h2>Salary</h2><p>90000 per year, 401k</p>
+</body></html>`},
+	{Name: "site-b", HTML: `
+<html><body>
+<p><b>Vacancy</b></p><p>Junior Programmer</p>
+<p><b>Must Have</b></p><p>1+ years; Perl; HTML</p>
+<p><b>We Offer</b></p><p>25 per hour, stock options</p>
+<p><b>Who We Are</b></p><p>Globex LLC, remote</p>
+</body></html>`},
+	{Name: "site-c", HTML: `
+<html><body>
+<table>
+<tr><td>Role</td><td>Database Engineer</td></tr>
+<tr><td>Qualifications</td><td>M.S. preferred; 3+ years; SQL, C++</td></tr>
+<tr><td>Duties</td><td>Design schemas; tune queries</td></tr>
+<tr><td>Pay</td><td>80000 annually</td></tr>
+</table>
+</body></html>`},
+}
+
+func main() {
+	pipe, err := webrev.New(webrev.Config{
+		Concepts: jobConcepts(),
+		Constraints: &webrev.Constraints{
+			NoRepeatOnPath: true,
+			MaxDepth:       3,
+			RoleDepth:      true,
+		},
+		RootName:     "jobposting",
+		SupThreshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, s := range postings {
+		doc := pipe.Convert(s.Name, s.HTML)
+		fmt.Printf("--- %s (%.0f%% tokens identified)\n%s\n",
+			s.Name, doc.Stats.IdentifiedRatio()*100, webrev.MarshalXML(doc.XML))
+	}
+
+	repo, err := pipe.Build(postings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- majority schema DTD over %d postings:\n%s", len(repo.Docs), repo.DTD.Render())
+
+	// At scale: a generated posting corpus from many "sites".
+	g := corpus.NewJobGenerator(42)
+	var many []webrev.Source
+	for _, p := range g.Postings(120) {
+		many = append(many, webrev.Source{Name: p.Title, HTML: p.HTML})
+	}
+	big, err := pipe.Build(many)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- DTD over %d generated postings (%d elements):\n%s",
+		len(big.Docs), big.DTD.Len(), big.DTD.RenderElements())
+}

@@ -1,0 +1,38 @@
+// Quickstart: convert one HTML resume into a concept-tagged XML document
+// using the public webrev API and print the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webrev"
+)
+
+const page = `
+<html><head><title>Jane Doe</title></head><body>
+<h1>Jane Doe</h1>
+<h2>Objective</h2>
+<p>Seeking a software engineer position.</p>
+<h2>Education</h2>
+<ul>
+  <li>University of California at Davis, B.S. Computer Science, June 1996, GPA 3.8/4.0</li>
+  <li>Foothill College, A.S., June 1992</li>
+</ul>
+<h2>Experience</h2>
+<p><b>Acme Inc</b>, Software Engineer, June 1996 - December 2000.
+Developed internal tools in Java and Perl.</p>
+<h2>Skills</h2>
+<p>Java, C++, Perl, SQL, Unix</p>
+</body></html>`
+
+func main() {
+	pipe, err := webrev.NewResumePipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := pipe.Convert("jane-doe.html", page)
+	fmt.Printf("tokens: %d, identified: %.0f%%, concept nodes: %d\n\n",
+		doc.Stats.Tokens, doc.Stats.IdentifiedRatio()*100, doc.Stats.ConceptNodes)
+	fmt.Print(webrev.MarshalXML(doc.XML))
+}

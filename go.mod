@@ -1,0 +1,3 @@
+module webrev
+
+go 1.22

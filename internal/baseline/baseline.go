@@ -1,0 +1,130 @@
+// Package baseline implements the schema-discovery baselines the paper
+// positions its majority schema against (§1, §3.1): the DataGuide upper
+// bound (every structure found in any document), the lower-bound schema
+// (structures found in all documents), and the node-identifier path model
+// of Wang–Liu [26], which "tries to model the tree structure too precisely"
+// and pays for it in path-set size.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"webrev/internal/dom"
+	"webrev/internal/schema"
+)
+
+// DataGuide returns the majority schema degenerated into a DataGuide: every
+// label path occurring in at least one document is kept (support threshold
+// approaches zero).
+func DataGuide(docs []*schema.DocPaths) *schema.Schema {
+	m := &schema.Miner{SupThreshold: 1e-9, RatioThreshold: 0}
+	return m.Discover(docs)
+}
+
+// LowerBound returns the lower-bound schema: only label paths present in
+// every document survive (support threshold 1).
+func LowerBound(docs []*schema.DocPaths) *schema.Schema {
+	m := &schema.Miner{SupThreshold: 1.0, RatioThreshold: 0}
+	return m.Discover(docs)
+}
+
+// Majority returns the paper's majority schema at the given support
+// threshold (0 < t < 1).
+func Majority(docs []*schema.DocPaths, supThreshold, ratioThreshold float64) *schema.Schema {
+	m := &schema.Miner{SupThreshold: supThreshold, RatioThreshold: ratioThreshold}
+	return m.Discover(docs)
+}
+
+// ---------------------------------------------------------------------------
+// Wang–Liu-style node-identifier paths [26]
+// ---------------------------------------------------------------------------
+
+// NodeIDPaths reduces a tree to root-emanating paths whose components carry
+// sibling ordinals (tag#k), the "node identifier" representation of [26].
+// Two structurally identical entries at different sibling positions yield
+// different paths — the precision that buries regular patterns under detail.
+func NodeIDPaths(root *dom.Node) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(n *dom.Node, prefix string)
+	walk = func(n *dom.Node, prefix string) {
+		if n.Type != dom.ElementNode {
+			return
+		}
+		ord := 0
+		if n.Parent != nil {
+			for _, s := range n.Parent.Children {
+				if s == n {
+					break
+				}
+				if s.Type == dom.ElementNode && s.Tag == n.Tag {
+					ord++
+				}
+			}
+		}
+		path := fmt.Sprintf("%s#%d", n.Tag, ord)
+		if prefix != "" {
+			path = prefix + schema.Sep + path
+		}
+		out[path] = true
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	walk(root, "")
+	return out
+}
+
+// PathStats compares the search-space sizes of the label-path model (ours)
+// and the node-identifier model ([26]) over a corpus of XML trees.
+type PathStats struct {
+	LabelPaths  int // distinct label paths across the corpus
+	NodeIDPaths int // distinct node-identifier paths across the corpus
+}
+
+// Blowup returns NodeIDPaths / LabelPaths.
+func (p PathStats) Blowup() float64 {
+	if p.LabelPaths == 0 {
+		return 0
+	}
+	return float64(p.NodeIDPaths) / float64(p.LabelPaths)
+}
+
+// ComparePathModels computes PathStats for a corpus of document trees.
+func ComparePathModels(trees []*dom.Node) PathStats {
+	labels := make(map[string]bool)
+	ids := make(map[string]bool)
+	for _, t := range trees {
+		for p := range schema.Extract(t).Paths {
+			labels[p] = true
+		}
+		for p := range NodeIDPaths(t) {
+			ids[p] = true
+		}
+	}
+	return PathStats{LabelPaths: len(labels), NodeIDPaths: len(ids)}
+}
+
+// FrequentNodeIDPaths mines frequent node-identifier paths at the given
+// document-frequency threshold — the [26]-style discovery our miner is
+// compared against in the ablation bench.
+func FrequentNodeIDPaths(trees []*dom.Node, supThreshold float64) []string {
+	if len(trees) == 0 {
+		return nil
+	}
+	freq := make(map[string]int)
+	for _, t := range trees {
+		for p := range NodeIDPaths(t) {
+			freq[p]++
+		}
+	}
+	n := float64(len(trees))
+	var out []string
+	for p, f := range freq {
+		if float64(f)/n >= supThreshold {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

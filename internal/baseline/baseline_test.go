@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+
+	"webrev/internal/dom"
+	"webrev/internal/schema"
+)
+
+func el(tag string, children ...*dom.Node) *dom.Node {
+	return dom.Elem(tag, nil, children...)
+}
+
+func trees() []*dom.Node {
+	return []*dom.Node{
+		el("resume", el("objective"), el("education", el("degree"))),
+		el("resume", el("education", el("degree"), el("date"))),
+		el("resume", el("education", el("degree"))),
+	}
+}
+
+func docs() []*schema.DocPaths {
+	var out []*schema.DocPaths
+	for _, t := range trees() {
+		out = append(out, schema.Extract(t))
+	}
+	return out
+}
+
+func TestDataGuideIsUnion(t *testing.T) {
+	s := DataGuide(docs())
+	want := []string{
+		"resume",
+		"resume/education",
+		"resume/education/date",
+		"resume/education/degree",
+		"resume/objective",
+	}
+	if got := s.Paths(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("paths = %v", got)
+	}
+}
+
+func TestLowerBoundIsIntersection(t *testing.T) {
+	s := LowerBound(docs())
+	want := []string{"resume", "resume/education", "resume/education/degree"}
+	if got := s.Paths(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("paths = %v", got)
+	}
+}
+
+func TestMajorityBetweenBounds(t *testing.T) {
+	d := docs()
+	lower := len(LowerBound(d).Paths())
+	major := len(Majority(d, 0.6, 0).Paths())
+	upper := len(DataGuide(d).Paths())
+	if !(lower <= major && major <= upper) {
+		t.Fatalf("bounds violated: %d <= %d <= %d", lower, major, upper)
+	}
+	// date has support 1/3: excluded at 0.6.
+	if Majority(d, 0.6, 0).Contains("resume/education/date") {
+		t.Fatal("majority at 0.6 should drop date")
+	}
+}
+
+func TestNodeIDPaths(t *testing.T) {
+	tree := el("resume",
+		el("education", el("date"), el("date")),
+	)
+	got := NodeIDPaths(tree)
+	for _, want := range []string{
+		"resume#0",
+		"resume#0/education#0",
+		"resume#0/education#0/date#0",
+		"resume#0/education#0/date#1",
+	} {
+		if !got[want] {
+			t.Fatalf("missing %s in %v", want, got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("paths = %v", got)
+	}
+}
+
+func TestComparePathModelsBlowup(t *testing.T) {
+	// Repetition inflates the node-id model but not the label model.
+	var ts []*dom.Node
+	for i := 0; i < 3; i++ {
+		edu := el("education")
+		for j := 0; j <= i+2; j++ {
+			edu.AppendChild(el("date"))
+		}
+		ts = append(ts, el("resume", edu))
+	}
+	st := ComparePathModels(ts)
+	if st.LabelPaths != 3 {
+		t.Fatalf("label paths = %d", st.LabelPaths)
+	}
+	if st.NodeIDPaths != 2+5 {
+		t.Fatalf("node-id paths = %d", st.NodeIDPaths)
+	}
+	if st.Blowup() <= 1 {
+		t.Fatalf("blowup = %v", st.Blowup())
+	}
+	if (PathStats{}).Blowup() != 0 {
+		t.Fatal("zero stats blowup should be 0")
+	}
+}
+
+func TestFrequentNodeIDPaths(t *testing.T) {
+	out := FrequentNodeIDPaths(trees(), 1.0)
+	want := []string{"resume#0", "resume#0/education#0", "resume#0/education#0/degree#0"}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("paths = %v", out)
+	}
+	if FrequentNodeIDPaths(nil, 0.5) != nil {
+		t.Fatal("empty corpus should return nil")
+	}
+}

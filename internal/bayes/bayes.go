@@ -1,0 +1,165 @@
+// Package bayes implements the multinomial naive Bayes classifier the paper
+// uses as its second concept-instance identification mechanism (§2.3.1):
+// "the user gives examples on how to associate tokens with concept instances
+// by labeling some input HTML documents … the classifier classifies each
+// token as a concept instance with the highest probability".
+package bayes
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Unknown is the class returned when no trained class exceeds the decision
+// threshold. The paper feeds the identified/unidentified ratio back to the
+// user (§2.3.1); Unknown tokens contribute to that ratio.
+const Unknown = "unknown"
+
+// Classifier is a multinomial naive Bayes text classifier with Laplace
+// smoothing. The zero value is empty; add examples with Train and call
+// Finalize (or just Classify, which finalizes lazily) before classifying.
+type Classifier struct {
+	classDocs   map[string]int            // class -> number of training tokens
+	classWords  map[string]map[string]int // class -> word -> count
+	classTotals map[string]int            // class -> total word count
+	vocab       map[string]struct{}
+	totalDocs   int
+
+	// MinLogOdds is the margin (in nats) by which the best class must beat
+	// the uniform prior baseline to avoid Unknown. Zero accepts everything.
+	MinLogOdds float64
+}
+
+// New returns an empty classifier.
+func New() *Classifier {
+	return &Classifier{
+		classDocs:   make(map[string]int),
+		classWords:  make(map[string]map[string]int),
+		classTotals: make(map[string]int),
+		vocab:       make(map[string]struct{}),
+	}
+}
+
+// Train adds one labeled example: text is a token's content, class the
+// concept name the user assigned.
+func (c *Classifier) Train(text, class string) {
+	words := Words(text)
+	if len(words) == 0 {
+		return
+	}
+	c.classDocs[class]++
+	c.totalDocs++
+	wc := c.classWords[class]
+	if wc == nil {
+		wc = make(map[string]int)
+		c.classWords[class] = wc
+	}
+	for _, w := range words {
+		wc[w]++
+		c.classTotals[class]++
+		c.vocab[w] = struct{}{}
+	}
+}
+
+// Classes returns the trained class names, sorted.
+func (c *Classifier) Classes() []string {
+	out := make([]string, 0, len(c.classDocs))
+	for cl := range c.classDocs {
+		out = append(out, cl)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trained reports whether any examples have been added.
+func (c *Classifier) Trained() bool { return c.totalDocs > 0 }
+
+// Classify returns the most probable class for text and its log-probability
+// score. When the classifier is untrained or the text has no recognizable
+// words, it returns Unknown with a zero score.
+func (c *Classifier) Classify(text string) (string, float64) {
+	words := Words(text)
+	if len(words) == 0 || c.totalDocs == 0 {
+		return Unknown, 0
+	}
+	v := float64(len(c.vocab))
+	best, second := math.Inf(-1), math.Inf(-1)
+	bestClass := Unknown
+	for class, docs := range c.classDocs {
+		score := math.Log(float64(docs) / float64(c.totalDocs))
+		wc := c.classWords[class]
+		total := float64(c.classTotals[class])
+		for _, w := range words {
+			score += math.Log((float64(wc[w]) + 1) / (total + v))
+		}
+		if score > best {
+			second = best
+			best = score
+			bestClass = class
+		} else if score > second {
+			second = score
+		}
+	}
+	if c.MinLogOdds > 0 && len(c.classDocs) > 1 && best-second < c.MinLogOdds {
+		return Unknown, best
+	}
+	return bestClass, best
+}
+
+// Probabilities returns the posterior distribution over classes for text
+// (normalized in probability space). Useful for diagnostics and tests.
+func (c *Classifier) Probabilities(text string) (map[string]float64, error) {
+	if c.totalDocs == 0 {
+		return nil, errors.New("bayes: classifier has no training data")
+	}
+	words := Words(text)
+	v := float64(len(c.vocab))
+	logs := make(map[string]float64, len(c.classDocs))
+	maxLog := math.Inf(-1)
+	for class, docs := range c.classDocs {
+		score := math.Log(float64(docs) / float64(c.totalDocs))
+		wc := c.classWords[class]
+		total := float64(c.classTotals[class])
+		for _, w := range words {
+			score += math.Log((float64(wc[w]) + 1) / (total + v))
+		}
+		logs[class] = score
+		if score > maxLog {
+			maxLog = score
+		}
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	out := make(map[string]float64, len(logs))
+	for class, l := range logs {
+		out[class] = math.Exp(l-maxLog) / sum
+	}
+	return out, nil
+}
+
+// Words lowercases and splits text into word features: letter/digit runs, so
+// "B.S.(Computer Science)" yields [b s computer science].
+func Words(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,202 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func trained() *Classifier {
+	c := New()
+	for _, ex := range []struct{ text, class string }{
+		{"University of California at Davis", "institution"},
+		{"Stanford University", "institution"},
+		{"San Jose State University", "institution"},
+		{"Foothill College", "institution"},
+		{"B.S. Computer Science", "degree"},
+		{"M.S. Electrical Engineering", "degree"},
+		{"Ph.D. candidate in Physics", "degree"},
+		{"Bachelor of Arts, Economics", "degree"},
+		{"June 1996", "date"},
+		{"September 1998 to present", "date"},
+		{"January 2000", "date"},
+		{"May 1994", "date"},
+		{"GPA 3.8/4.0", "gpa"},
+		{"GPA: 3.5", "gpa"},
+		{"Grade Point Average 3.9", "gpa"},
+	} {
+		c.Train(ex.text, ex.class)
+	}
+	return c
+}
+
+func TestWords(t *testing.T) {
+	got := Words("B.S.(Computer Science), June 1996!")
+	want := []string{"b", "s", "computer", "science", "june", "1996"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Words = %v, want %v", got, want)
+	}
+	if len(Words("  ,,;; ")) != 0 {
+		t.Fatal("punctuation-only should yield no words")
+	}
+}
+
+func TestClassifyBasics(t *testing.T) {
+	c := trained()
+	cases := map[string]string{
+		"University of Texas":       "institution",
+		"Harvey Mudd College":       "institution",
+		"B.S. in Computer Science":  "degree",
+		"M.S. Physics":              "degree",
+		"August 1997":               "date",
+		"GPA 4.0":                   "gpa",
+		"Grade Point Average: 3.95": "gpa",
+	}
+	for text, want := range cases {
+		if got, _ := c.Classify(text); got != want {
+			t.Errorf("Classify(%q) = %q, want %q", text, got, want)
+		}
+	}
+}
+
+func TestClassifyUntrained(t *testing.T) {
+	c := New()
+	if got, _ := c.Classify("anything"); got != Unknown {
+		t.Fatalf("untrained Classify = %q", got)
+	}
+	if c.Trained() {
+		t.Fatal("Trained() should be false")
+	}
+}
+
+func TestClassifyEmptyText(t *testing.T) {
+	c := trained()
+	if got, _ := c.Classify("..."); got != Unknown {
+		t.Fatalf("no-word Classify = %q", got)
+	}
+}
+
+func TestUnknownThreshold(t *testing.T) {
+	c := trained()
+	c.MinLogOdds = 2.0
+	// A word none of the classes has seen: classes differ only by priors and
+	// smoothing, so the margin should be tiny and Unknown returned.
+	if got, _ := c.Classify("zzzqqq"); got != Unknown {
+		t.Fatalf("ambiguous token classified as %q, want unknown", got)
+	}
+	// A strongly indicative token must still be classified.
+	if got, _ := c.Classify("University University University"); got != "institution" {
+		t.Fatalf("strong token = %q", got)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	c := trained()
+	want := []string{"date", "degree", "gpa", "institution"}
+	if got := c.Classes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Classes = %v", got)
+	}
+}
+
+func TestTrainEmptyTextIgnored(t *testing.T) {
+	c := New()
+	c.Train("   ", "x")
+	if c.Trained() {
+		t.Fatal("empty example should not count")
+	}
+}
+
+func TestProbabilitiesNormalized(t *testing.T) {
+	c := trained()
+	p, err := c.Probabilities("B.S. University 1996")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if _, err := New().Probabilities("x"); err == nil {
+		t.Fatal("untrained Probabilities should error")
+	}
+}
+
+func TestClassPriorMatters(t *testing.T) {
+	c := New()
+	for i := 0; i < 9; i++ {
+		c.Train("alpha", "big")
+	}
+	c.Train("alpha", "small")
+	if got, _ := c.Classify("alpha"); got != "big" {
+		t.Fatalf("prior-dominant class = %q", got)
+	}
+}
+
+func TestPropertyClassifyTotalOrder(t *testing.T) {
+	// Classify must agree with the argmax of Probabilities when no
+	// threshold is set.
+	c := trained()
+	words := []string{"university", "college", "b", "s", "science", "1996", "june", "gpa", "davis", "physics"}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		text := ""
+		for _, p := range picks {
+			text += words[int(p)%len(words)] + " "
+		}
+		got, _ := c.Classify(text)
+		probs, err := c.Probabilities(text)
+		if err != nil {
+			return false
+		}
+		best, bestP := "", -1.0
+		for class, p := range probs {
+			if p > bestP {
+				best, bestP = class, p
+			}
+		}
+		// Ties can legitimately differ; accept when probabilities are close.
+		return got == best || math.Abs(probs[got]-bestP) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTrainingMonotonicity(t *testing.T) {
+	// Adding more examples of class X for a word makes X (weakly) more
+	// probable for that word.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New()
+		c.Train("foo bar", "a")
+		c.Train("baz qux", "b")
+		p1, _ := c.Probabilities("foo")
+		n := 1 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			c.Train("foo", "a")
+		}
+		p2, _ := c.Probabilities("foo")
+		return p2["a"] >= p1["a"]-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	c := trained()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Classify("University of California at Davis, B.S. Computer Science, June 1996")
+	}
+}

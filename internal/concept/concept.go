@@ -1,0 +1,196 @@
+// Package concept models topic-specific domain knowledge: concepts, concept
+// instances, and concept constraints (paper §2.2).
+//
+// Concepts provide the element-name vocabulary of the XML documents produced
+// by conversion. Each concept carries instances — text patterns and keywords
+// as they might occur in topic-specific HTML documents — that the concept
+// instance rule matches against tokens. Constraints (parent, sibling, depth)
+// optionally restrict how concepts may nest and are exploited both during
+// conversion and to prune the schema-discovery search space (§4.2).
+package concept
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Role classifies a concept for the constraint classes of §4.2: title names
+// may only appear as first-level nodes, content names only deeper.
+type Role int
+
+// Concept roles.
+const (
+	RoleAny     Role = iota // unclassified
+	RoleTitle               // section title; depth == 1
+	RoleContent             // content of a title; depth > 1
+)
+
+// Concept is one topic-specific concept: an XML element name plus the
+// instances that identify it in text.
+type Concept struct {
+	Name      string   // element name, e.g. "institution"
+	Instances []string // text patterns incl. the name itself, e.g. "University"
+	Role      Role
+}
+
+// Set is an immutable collection of concepts with a compiled instance
+// matcher. Build one with NewSet.
+type Set struct {
+	concepts map[string]*Concept
+	ordered  []*Concept // insertion order, for deterministic iteration
+	// matcher: lowercase instance -> concept name; longest instances first.
+	instances []instanceEntry
+}
+
+type instanceEntry struct {
+	pattern string // lowercase
+	concept string
+}
+
+// NewSet compiles the given concepts into a Set. The concept's own name is
+// always implicitly an instance. Duplicate concept names are an error.
+func NewSet(concepts ...Concept) (*Set, error) {
+	s := &Set{concepts: make(map[string]*Concept, len(concepts))}
+	for i := range concepts {
+		c := concepts[i]
+		if c.Name == "" {
+			return nil, fmt.Errorf("concept: empty concept name at index %d", i)
+		}
+		if _, dup := s.concepts[c.Name]; dup {
+			return nil, fmt.Errorf("concept: duplicate concept %q", c.Name)
+		}
+		cc := &Concept{Name: c.Name, Role: c.Role}
+		seen := map[string]bool{}
+		add := func(inst string) {
+			inst = strings.TrimSpace(inst)
+			if inst == "" {
+				return
+			}
+			low := strings.ToLower(inst)
+			if seen[low] {
+				return
+			}
+			seen[low] = true
+			cc.Instances = append(cc.Instances, inst)
+			s.instances = append(s.instances, instanceEntry{pattern: low, concept: c.Name})
+		}
+		add(c.Name)
+		for _, inst := range c.Instances {
+			add(inst)
+		}
+		s.concepts[c.Name] = cc
+		s.ordered = append(s.ordered, cc)
+	}
+	// Longest-pattern-first so "assistant professor" wins over "professor".
+	sort.SliceStable(s.instances, func(i, j int) bool {
+		return len(s.instances[i].pattern) > len(s.instances[j].pattern)
+	})
+	return s, nil
+}
+
+// MustSet is NewSet that panics on error, for tests and fixed vocabularies.
+func MustSet(concepts ...Concept) *Set {
+	s, err := NewSet(concepts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of concepts.
+func (s *Set) Len() int { return len(s.ordered) }
+
+// InstanceCount returns the total number of compiled instances.
+func (s *Set) InstanceCount() int { return len(s.instances) }
+
+// Names returns the concept names in insertion order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.ordered))
+	for i, c := range s.ordered {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Get returns the named concept, or nil.
+func (s *Set) Get(name string) *Concept { return s.concepts[name] }
+
+// Has reports whether name is a concept in the set.
+func (s *Set) Has(name string) bool { _, ok := s.concepts[name]; return ok }
+
+// Match is one instance occurrence found in a token text.
+type Match struct {
+	Concept  string // concept name
+	Instance string // the instance pattern that matched (lowercase)
+	Start    int    // byte offset of the match in the searched text
+	End      int    // byte offset just past the match
+}
+
+// FindAll locates every non-overlapping instance occurrence in text,
+// case-insensitively and on word boundaries, preferring longer instances.
+// Matches are returned in order of Start.
+func (s *Set) FindAll(text string) []Match {
+	low := strings.ToLower(text)
+	claimed := make([]bool, len(low))
+	var out []Match
+	for _, e := range s.instances {
+		from := 0
+		for {
+			i := strings.Index(low[from:], e.pattern)
+			if i < 0 {
+				break
+			}
+			start := from + i
+			end := start + len(e.pattern)
+			from = start + 1
+			if !wordBoundary(low, start, end) {
+				continue
+			}
+			if anyClaimed(claimed, start, end) {
+				continue
+			}
+			for k := start; k < end; k++ {
+				claimed[k] = true
+			}
+			out = append(out, Match{Concept: e.concept, Instance: e.pattern, Start: start, End: end})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// First returns the first (leftmost, longest-preferred) match in text, or a
+// zero Match and false.
+func (s *Set) First(text string) (Match, bool) {
+	ms := s.FindAll(text)
+	if len(ms) == 0 {
+		return Match{}, false
+	}
+	return ms[0], true
+}
+
+func anyClaimed(claimed []bool, start, end int) bool {
+	for k := start; k < end; k++ {
+		if claimed[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// wordBoundary reports whether [start,end) in s is delimited by non-word
+// bytes (or string edges) on both sides.
+func wordBoundary(s string, start, end int) bool {
+	if start > 0 && isWordByte(s[start-1]) {
+		return false
+	}
+	if end < len(s) && isWordByte(s[end]) {
+		return false
+	}
+	return true
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,289 @@
+package concept
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Op is a comparison operator for depth constraints.
+type Op int
+
+// Depth comparison operators (paper §2.2: ⊙ ∈ {=, <, >}).
+const (
+	OpEq Op = iota
+	OpLt
+	OpGt
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpGt:
+		return ">"
+	}
+	return "?"
+}
+
+// Constraint is one concept constraint. The three forms of §2.2 are
+// parent(c1,c2), sibling(c1,c2) and depth(c1) ⊙ d; every predicate may be
+// negated to specify atypical properties.
+type Constraint struct {
+	Kind    Kind
+	C1, C2  string // concept names (C2 unused for depth)
+	Op      Op     // depth only
+	D       int    // depth only
+	Negated bool
+}
+
+// Kind discriminates constraint forms.
+type Kind int
+
+// Constraint kinds.
+const (
+	KindParent  Kind = iota // c1 is a (not necessarily direct) ancestor of c2
+	KindSibling             // c1 and c2 occur at the same level of abstraction
+	KindDepth               // c1 occurs only at depth ⊙ d
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindParent:
+		return "parent"
+	case KindSibling:
+		return "sibling"
+	case KindDepth:
+		return "depth"
+	}
+	return "?"
+}
+
+// Parent returns the constraint parent(c1, c2).
+func Parent(c1, c2 string) Constraint { return Constraint{Kind: KindParent, C1: c1, C2: c2} }
+
+// Sibling returns the constraint sibling(c1, c2).
+func Sibling(c1, c2 string) Constraint { return Constraint{Kind: KindSibling, C1: c1, C2: c2} }
+
+// Depth returns the constraint depth(c1) ⊙ d.
+func Depth(c1 string, op Op, d int) Constraint {
+	return Constraint{Kind: KindDepth, C1: c1, Op: op, D: d}
+}
+
+// Not negates a constraint.
+func Not(c Constraint) Constraint { c.Negated = !c.Negated; return c }
+
+// String renders the constraint in the paper's notation.
+func (c Constraint) String() string {
+	var body string
+	switch c.Kind {
+	case KindParent, KindSibling:
+		body = fmt.Sprintf("%s(%s, %s)", c.Kind, c.C1, c.C2)
+	case KindDepth:
+		body = fmt.Sprintf("depth(%s) %s %d", c.C1, c.Op, c.D)
+	}
+	if c.Negated {
+		return "¬" + body
+	}
+	return body
+}
+
+// Constraints is a checkable collection of concept constraints plus the two
+// structural constraint classes used in §4.2: no concept repeats along a
+// label path, and a global maximum depth.
+type Constraints struct {
+	List []Constraint
+	// NoRepeatOnPath forbids the same concept name twice on any label path
+	// (first constraint class of §4.2).
+	NoRepeatOnPath bool
+	// MaxDepth, when > 0, bounds the depth of any concept node (§4.2 uses 4).
+	MaxDepth int
+	// RoleDepth enforces Role-derived depths: title names at depth 1,
+	// content names at depth > 1 (second constraint class of §4.2). Requires
+	// the Set to be passed to the check.
+	RoleDepth bool
+}
+
+// AllowPath reports whether the label path (root excluded — path[0] is a
+// first-level concept) violates no constraint. Depth of path[i] is i+1.
+// Sibling constraints cannot be checked on a single path and are ignored
+// here; CheckTree covers them.
+func (cs *Constraints) AllowPath(path []string, set *Set) bool {
+	if cs == nil {
+		return true
+	}
+	if cs.MaxDepth > 0 && len(path) > cs.MaxDepth {
+		return false
+	}
+	if cs.NoRepeatOnPath {
+		seen := make(map[string]bool, len(path))
+		for _, name := range path {
+			if seen[name] {
+				return false
+			}
+			seen[name] = true
+		}
+	}
+	if cs.RoleDepth && set != nil {
+		for i, name := range path {
+			c := set.Get(name)
+			if c == nil {
+				continue
+			}
+			depth := i + 1
+			switch c.Role {
+			case RoleTitle:
+				if depth != 1 {
+					return false
+				}
+			case RoleContent:
+				if depth <= 1 {
+					return false
+				}
+			}
+		}
+	}
+	for _, con := range cs.List {
+		if !allowPathOne(con, path) {
+			return false
+		}
+	}
+	return true
+}
+
+func allowPathOne(con Constraint, path []string) bool {
+	switch con.Kind {
+	case KindDepth:
+		for i, name := range path {
+			if name != con.C1 {
+				continue
+			}
+			depth := i + 1
+			var ok bool
+			switch con.Op {
+			case OpEq:
+				ok = depth == con.D
+			case OpLt:
+				ok = depth < con.D
+			case OpGt:
+				ok = depth > con.D
+			}
+			if con.Negated {
+				ok = !ok
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	case KindParent:
+		// Positive parent(c1,c2): whenever c2 occurs on the path, c1 must
+		// appear somewhere above it. Negated: c1 must NOT appear above c2.
+		for i, name := range path {
+			if name != con.C2 {
+				continue
+			}
+			found := false
+			for j := 0; j < i; j++ {
+				if path[j] == con.C1 {
+					found = true
+					break
+				}
+			}
+			if con.Negated {
+				if found {
+					return false
+				}
+			} else if !found {
+				return false
+			}
+		}
+		return true
+	case KindSibling:
+		// Sibling constraints are level constraints: on a single path the
+		// only checkable violation is c1 being an ancestor of c2 or vice
+		// versa (siblings cannot nest).
+		if con.Negated {
+			return true
+		}
+		for i, name := range path {
+			for j := i + 1; j < len(path); j++ {
+				if name == con.C1 && path[j] == con.C2 || name == con.C2 && path[j] == con.C1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// SearchSpace returns the number of distinct label paths of length 1..
+// maxDepth over a vocabulary of n concepts with no constraints (sum of n^l).
+// See PaperExhaustive for the exact arithmetic the paper reports in §4.2.
+func SearchSpace(n, maxDepth int) float64 {
+	total := 0.0
+	for l := 1; l <= maxDepth; l++ {
+		total += math.Pow(float64(n), float64(l))
+	}
+	return total
+}
+
+// PaperExhaustive reproduces the paper's §4.2 exhaustive count n^(d+1) − 1
+// (for n=24, d=4: 7,962,623 — the number of nodes of the complete 24-ary
+// trie of height 5, minus the root).
+func PaperExhaustive(n, maxDepth int) int {
+	v := 1
+	for i := 0; i < maxDepth+1; i++ {
+		v *= n
+	}
+	return v - 1
+}
+
+// CountConstrainedPaths enumerates the label-path trie under the
+// constraints and returns the number of admissible nodes (paths). The
+// enumeration mirrors the schema-discovery search: a path is extended only
+// while it remains admissible, so pruned subtrees are never visited.
+func (cs *Constraints) CountConstrainedPaths(set *Set, maxDepth int) int {
+	names := set.Names()
+	count := 0
+	var rec func(path []string)
+	rec = func(path []string) {
+		for _, name := range names {
+			next := append(path, name)
+			if !cs.AllowPath(next, set) {
+				continue
+			}
+			count++
+			if len(next) < maxDepth {
+				rec(next)
+			}
+		}
+	}
+	if maxDepth <= 0 {
+		maxDepth = cs.MaxDepth
+	}
+	rec(nil)
+	return count
+}
+
+// Describe renders a multi-line summary of the constraint set.
+func (cs *Constraints) Describe() string {
+	var b strings.Builder
+	if cs.NoRepeatOnPath {
+		b.WriteString("no concept repeats on a label path\n")
+	}
+	if cs.MaxDepth > 0 {
+		fmt.Fprintf(&b, "max depth %d\n", cs.MaxDepth)
+	}
+	if cs.RoleDepth {
+		b.WriteString("title names at depth 1, content names at depth > 1\n")
+	}
+	for _, c := range cs.List {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package concept
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstraintString(t *testing.T) {
+	cases := []struct {
+		c    Constraint
+		want string
+	}{
+		{Parent("education", "degree"), "parent(education, degree)"},
+		{Sibling("degree", "date"), "sibling(degree, date)"},
+		{Depth("contact", OpEq, 1), "depth(contact) = 1"},
+		{Depth("x", OpLt, 3), "depth(x) < 3"},
+		{Depth("x", OpGt, 1), "depth(x) > 1"},
+		{Not(Parent("a", "b")), "¬parent(a, b)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	if Not(Not(Parent("a", "b"))).Negated {
+		t.Fatal("double negation should cancel")
+	}
+}
+
+func TestAllowPathDepth(t *testing.T) {
+	cs := &Constraints{List: []Constraint{Depth("contact", OpEq, 1)}}
+	if !cs.AllowPath([]string{"contact"}, nil) {
+		t.Fatal("depth 1 should be allowed")
+	}
+	if cs.AllowPath([]string{"education", "contact"}, nil) {
+		t.Fatal("depth 2 should be rejected")
+	}
+	lt := &Constraints{List: []Constraint{Depth("x", OpLt, 3)}}
+	if !lt.AllowPath([]string{"a", "x"}, nil) || lt.AllowPath([]string{"a", "b", "x"}, nil) {
+		t.Fatal("OpLt broken")
+	}
+	gt := &Constraints{List: []Constraint{Depth("x", OpGt, 1)}}
+	if gt.AllowPath([]string{"x"}, nil) || !gt.AllowPath([]string{"a", "x"}, nil) {
+		t.Fatal("OpGt broken")
+	}
+	neg := &Constraints{List: []Constraint{Not(Depth("x", OpEq, 2))}}
+	if neg.AllowPath([]string{"a", "x"}, nil) || !neg.AllowPath([]string{"x"}, nil) {
+		t.Fatal("negated depth broken")
+	}
+}
+
+func TestAllowPathParent(t *testing.T) {
+	cs := &Constraints{List: []Constraint{Parent("education", "degree")}}
+	if !cs.AllowPath([]string{"education", "degree"}, nil) {
+		t.Fatal("direct parent allowed")
+	}
+	if !cs.AllowPath([]string{"education", "x", "degree"}, nil) {
+		t.Fatal("indirect parent allowed")
+	}
+	if cs.AllowPath([]string{"experience", "degree"}, nil) {
+		t.Fatal("missing required ancestor should reject")
+	}
+	if !cs.AllowPath([]string{"experience", "company"}, nil) {
+		t.Fatal("unrelated path should pass")
+	}
+	neg := &Constraints{List: []Constraint{Not(Parent("experience", "degree"))}}
+	if neg.AllowPath([]string{"experience", "degree"}, nil) {
+		t.Fatal("negated parent should reject")
+	}
+	if !neg.AllowPath([]string{"education", "degree"}, nil) {
+		t.Fatal("negated parent should allow other ancestors")
+	}
+}
+
+func TestAllowPathSibling(t *testing.T) {
+	cs := &Constraints{List: []Constraint{Sibling("degree", "date")}}
+	if cs.AllowPath([]string{"degree", "date"}, nil) {
+		t.Fatal("siblings must not nest")
+	}
+	if cs.AllowPath([]string{"date", "x", "degree"}, nil) {
+		t.Fatal("siblings must not nest transitively")
+	}
+	if !cs.AllowPath([]string{"education", "degree"}, nil) {
+		t.Fatal("unrelated nesting fine")
+	}
+}
+
+func TestAllowPathStructuralClasses(t *testing.T) {
+	set := MustSet(
+		Concept{Name: "education", Role: RoleTitle},
+		Concept{Name: "degree", Role: RoleContent},
+		Concept{Name: "misc", Role: RoleAny},
+	)
+	cs := &Constraints{NoRepeatOnPath: true, MaxDepth: 4, RoleDepth: true}
+	if !cs.AllowPath([]string{"education", "degree"}, set) {
+		t.Fatal("well-formed path rejected")
+	}
+	if cs.AllowPath([]string{"education", "degree", "degree"}, set) {
+		t.Fatal("repeat on path should reject")
+	}
+	if cs.AllowPath([]string{"degree"}, set) {
+		t.Fatal("content name at depth 1 should reject")
+	}
+	if cs.AllowPath([]string{"education", "education2", "x", "y", "z"}, set) {
+		t.Fatal("beyond max depth should reject")
+	}
+	if cs.AllowPath([]string{"misc", "education"}, set) {
+		t.Fatal("title name at depth 2 should reject")
+	}
+	if !cs.AllowPath([]string{"misc", "misc2"}, set) {
+		t.Fatal("RoleAny should be unconstrained")
+	}
+}
+
+func TestNilConstraintsAllowEverything(t *testing.T) {
+	var cs *Constraints
+	if !cs.AllowPath([]string{"a", "a", "a", "a", "a", "a"}, nil) {
+		t.Fatal("nil constraints must allow all")
+	}
+}
+
+func TestPaperExhaustive(t *testing.T) {
+	// §4.2: 24^5 - 1 = 7,962,623 nodes for 24 concepts, depth ≤ 4.
+	if got := PaperExhaustive(24, 4); got != 7962623 {
+		t.Fatalf("PaperExhaustive(24,4) = %d, want 7962623", got)
+	}
+}
+
+func TestSearchSpace(t *testing.T) {
+	if got := SearchSpace(2, 3); got != 2+4+8 {
+		t.Fatalf("SearchSpace(2,3) = %v", got)
+	}
+}
+
+func TestCountConstrainedPathsSmall(t *testing.T) {
+	set := MustSet(
+		Concept{Name: "t1", Role: RoleTitle},
+		Concept{Name: "t2", Role: RoleTitle},
+		Concept{Name: "c1", Role: RoleContent},
+	)
+	cs := &Constraints{NoRepeatOnPath: true, MaxDepth: 2, RoleDepth: true}
+	// Depth-1 paths: t1, t2 (c1 rejected). Depth-2: t1/c1, t2/c1 (titles at
+	// depth 2 rejected; repeats impossible at this size). Total 4.
+	if got := cs.CountConstrainedPaths(set, 2); got != 4 {
+		t.Fatalf("constrained paths = %d, want 4", got)
+	}
+}
+
+func TestCountConstrainedPathsResumeScale(t *testing.T) {
+	// The paper reports 1,871 admissible nodes for its exact (unpublished)
+	// constraint set; ours must land in the same order of magnitude and be
+	// a tiny fraction of the exhaustive space.
+	set := ResumeSet()
+	cs := ResumeConstraints()
+	got := cs.CountConstrainedPaths(set, 4)
+	if got <= 0 {
+		t.Fatal("no admissible paths")
+	}
+	exhaustive := PaperExhaustive(24, 4)
+	frac := float64(got) / float64(exhaustive)
+	if frac > 0.01 {
+		t.Fatalf("constraints prune too little: %d of %d (%.4f)", got, exhaustive, frac)
+	}
+	t.Logf("admissible=%d exhaustive=%d fraction=%.5f%%", got, exhaustive, frac*100)
+}
+
+func TestDescribe(t *testing.T) {
+	cs := &Constraints{
+		NoRepeatOnPath: true,
+		MaxDepth:       4,
+		RoleDepth:      true,
+		List:           []Constraint{Parent("education", "degree")},
+	}
+	d := cs.Describe()
+	for _, want := range []string{"no concept repeats", "max depth 4", "title names", "parent(education, degree)"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}

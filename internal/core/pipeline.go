@@ -1,0 +1,234 @@
+// Package core wires the paper's full system together: document conversion
+// (HTML → concept-tagged XML), majority schema discovery, DTD derivation,
+// and DTD-guided document mapping into a homogeneous XML repository — the
+// three steps the conclusion enumerates plus the Document Mapping Component.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"webrev/internal/concept"
+	"webrev/internal/convert"
+	"webrev/internal/dom"
+	"webrev/internal/dtd"
+	"webrev/internal/mapping"
+	"webrev/internal/repository"
+	"webrev/internal/schema"
+)
+
+// Config parameterizes a Pipeline. Zero-value fields get the paper's
+// defaults.
+type Config struct {
+	// Concepts is the topic vocabulary (required).
+	Concepts []concept.Concept
+	// Constraints guide conversion and prune schema discovery (optional).
+	Constraints *concept.Constraints
+	// RootName names the XML document root (e.g. "resume").
+	RootName string
+	// Convert carries further conversion options (delimiters, tag sets,
+	// classifier). RootName and Constraints above take precedence.
+	Convert convert.Options
+	// SupThreshold and RatioThreshold drive frequent-path mining (defaults
+	// 0.5 and 0.1).
+	SupThreshold   float64
+	RatioThreshold float64
+	// DTD carries repetition/optionality options.
+	DTD dtd.Options
+	// UnifySimilar, when in (0,1], runs the §3.2 unification step after
+	// discovery: sibling schema components whose descendant label sets have
+	// at least this Jaccard similarity are merged.
+	UnifySimilar float64
+	// Parallelism bounds concurrent document conversions in Build and
+	// ConvertAll (0 means GOMAXPROCS). Conversion of distinct documents is
+	// independent; results keep input order.
+	Parallelism int
+}
+
+// Pipeline is the assembled system. Create one with New.
+type Pipeline struct {
+	set  *concept.Set
+	cfg  Config
+	conv *convert.Converter
+}
+
+// New validates the configuration and assembles a Pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if len(cfg.Concepts) == 0 {
+		return nil, fmt.Errorf("core: no concepts configured")
+	}
+	set, err := concept.NewSet(cfg.Concepts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.SupThreshold == 0 {
+		// 0.3 keeps the nested entry structure (institution/degree/date
+		// under education) that heterogeneous author orderings split across
+		// several frequent-path variants; 0.5 collapses sections to leaves.
+		cfg.SupThreshold = 0.3
+	}
+	if cfg.RatioThreshold == 0 {
+		cfg.RatioThreshold = 0.1
+	}
+	opts := cfg.Convert
+	if cfg.RootName != "" {
+		opts.RootName = cfg.RootName
+	}
+	if cfg.Constraints != nil {
+		opts.Constraints = cfg.Constraints
+	}
+	return &Pipeline{set: set, cfg: cfg, conv: convert.New(set, opts)}, nil
+}
+
+// Set returns the compiled concept set.
+func (p *Pipeline) Set() *concept.Set { return p.set }
+
+// Document is one converted input.
+type Document struct {
+	Source string // identifier: URL, filename, or generator id
+	XML    *dom.Node
+	Stats  convert.Stats
+}
+
+// Convert transforms one HTML source into its XML document.
+func (p *Pipeline) Convert(source, html string) *Document {
+	x, stats := p.conv.Convert(html)
+	return &Document{Source: source, XML: x, Stats: stats}
+}
+
+// ConvertAll converts every source concurrently (bounded by
+// Config.Parallelism), preserving input order in the result.
+func (p *Pipeline) ConvertAll(sources []Source) []*Document {
+	workers := p.cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	out := make([]*Document, len(sources))
+	if workers <= 1 {
+		for i, s := range sources {
+			out[i] = p.Convert(s.Name, s.HTML)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = p.Convert(sources[i].Name, sources[i].HTML)
+			}
+		}()
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Repository is the result of the full pipeline over a corpus.
+type Repository struct {
+	Docs   []*Document
+	Schema *schema.Schema
+	DTD    *dtd.DTD
+	// Conformed holds each document after DTD-guided mapping, aligned with
+	// Docs; MapStats records the edits each needed.
+	Conformed []*dom.Node
+	MapStats  []mapping.EditStats
+}
+
+// ConformanceRate returns the fraction of converted documents that already
+// conformed to the DTD before mapping.
+func (r *Repository) ConformanceRate() float64 {
+	if len(r.Docs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range r.MapStats {
+		if s.Cost() == 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Docs))
+}
+
+// TotalMapCost sums the edit operations mapping performed.
+func (r *Repository) TotalMapCost() int {
+	total := 0
+	for _, s := range r.MapStats {
+		total += s.Cost()
+	}
+	return total
+}
+
+// DiscoverSchema mines the majority schema over converted documents.
+func (p *Pipeline) DiscoverSchema(docs []*Document) *schema.Schema {
+	paths := make([]*schema.DocPaths, len(docs))
+	for i, d := range docs {
+		paths[i] = schema.Extract(d.XML)
+	}
+	m := &schema.Miner{
+		SupThreshold:   p.cfg.SupThreshold,
+		RatioThreshold: p.cfg.RatioThreshold,
+		Constraints:    p.cfg.Constraints,
+		Set:            p.set,
+	}
+	s := m.Discover(paths)
+	if p.cfg.UnifySimilar > 0 {
+		schema.Unify(s, p.cfg.UnifySimilar)
+	}
+	return s
+}
+
+// DeriveDTD turns a schema into a DTD with the configured options.
+func (p *Pipeline) DeriveDTD(s *schema.Schema) *dtd.DTD {
+	return dtd.FromSchema(s, p.cfg.DTD)
+}
+
+// Build runs the complete pipeline: convert every source, discover the
+// majority schema, derive the DTD, and map every document to conform.
+// sources maps identifiers to HTML.
+func (p *Pipeline) Build(sources []Source) (*Repository, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	repo := &Repository{Docs: p.ConvertAll(sources)}
+	repo.Schema = p.DiscoverSchema(repo.Docs)
+	repo.DTD = p.DeriveDTD(repo.Schema)
+	for _, d := range repo.Docs {
+		conformed, stats := mapping.Conform(d.XML, repo.DTD)
+		repo.Conformed = append(repo.Conformed, conformed)
+		repo.MapStats = append(repo.MapStats, stats)
+	}
+	return repo, nil
+}
+
+// Source is one named HTML input.
+type Source struct {
+	Name string
+	HTML string
+}
+
+// BuildRepository runs the complete pipeline and stores every conformed
+// document in a queryable, persistable repository governed by the derived
+// DTD.
+func (p *Pipeline) BuildRepository(sources []Source) (*repository.Repository, error) {
+	built, err := p.Build(sources)
+	if err != nil {
+		return nil, err
+	}
+	repo := repository.New(built.DTD)
+	for i, c := range built.Conformed {
+		if err := repo.Add(built.Docs[i].Source, c); err != nil {
+			return nil, fmt.Errorf("core: mapped document still invalid: %w", err)
+		}
+	}
+	return repo, nil
+}

@@ -1,0 +1,134 @@
+// Package corpus generates the synthetic, heterogeneous resume corpus that
+// substitutes for the paper's Web-crawled resume collection (§4). Each
+// generated document pairs tag-soup HTML in one of several authoring styles
+// with the ground-truth concept tree an ideal conversion would produce,
+// enabling the automatic accuracy measurement of §4.1 (the authors counted
+// errors by manual inspection). Per the paper's assumption, records within
+// one document follow a single regular pattern while different documents
+// differ freely.
+package corpus
+
+// Word pools for the resume domain. They deliberately overlap with the
+// concept instances in internal/concept (University, Inc, B.S., month
+// names, ...) so the instance rule has signal, and contain filler words so
+// tokens also carry unmatched text.
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "Michael", "Linda", "David",
+	"Barbara", "Wei", "Yuki", "Priya", "Carlos", "Elena", "Ahmed", "Ingrid",
+	"Christina", "Neel", "Gertrude", "Oliver", "Sofia",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Chen", "Garcia", "Miller", "Davis", "Rodriguez",
+	"Martinez", "Nguyen", "Kim", "Patel", "Ivanov", "Schmidt", "Tanaka",
+	"Brown", "Lee", "Wilson", "Anderson", "Thomas", "Moore",
+}
+
+var universityPlaces = []string{
+	"California", "Texas", "Washington", "Michigan", "Illinois", "Arizona",
+	"Oregon", "Virginia", "Colorado", "Minnesota", "Georgia", "Florida",
+}
+
+var universityForms = []string{
+	"University of %s",
+	"%s State University",
+	"%s Institute of Technology",
+	"%s Community College",
+	"College of %s",
+}
+
+var degrees = []string{
+	"B.S.", "M.S.", "B.A.", "M.A.", "Ph.D.", "MBA",
+}
+
+var majors = []string{
+	"Computer Science", "Electrical Engineering", "Mathematics", "Physics",
+	"Computer Engineering", "Economics", "Statistics",
+}
+
+var months = []string{
+	"January", "February", "March", "April", "May", "June", "July",
+	"August", "September", "October", "November", "December",
+}
+
+var companyNames = []string{
+	"Acme", "Globex", "Initech", "Vandelay", "Wayne", "Stark", "Umbrella",
+	"Hooli", "Cyberdyne", "Tyrell", "Wonka", "Sterling", "Pied Piper",
+}
+
+var companySuffixes = []string{
+	"Inc", "Corporation", "Systems", "Laboratories", "LLC",
+}
+
+var jobTitles = []string{
+	"Software Engineer", "Developer", "Programmer", "Systems Analyst",
+	"Consultant", "Project Manager", "Intern", "Database Developer",
+}
+
+var skillWords = []string{
+	"Java", "C++", "Perl", "JavaScript", "HTML", "XML", "SQL", "Unix",
+	"Oracle", "CGI", "Tcl",
+}
+
+var objectivePhrases = []string{
+	"Seeking a challenging software engineer position",
+	"To obtain a full-time developer role in a dynamic team",
+	"A position where I can apply my technical background",
+	"Seeking an entry-level programmer opportunity",
+}
+
+var awardPhrases = []string{
+	"Dean's List", "National Merit Scholar", "Best Senior Project",
+	"Outstanding Student Award", "Hackathon Winner",
+}
+
+var activityPhrases = []string{
+	"ACM student chapter", "Chess club", "Volunteer tutoring",
+	"Soccer team", "Robotics society",
+}
+
+var coursePhrases = []string{
+	"Operating Systems", "Database Systems", "Compilers", "Data Structures",
+	"Computer Networks", "Algorithms", "Software Engineering",
+}
+
+var referencePhrases = []string{
+	"Available upon request", "Furnished on request",
+	"Provided upon request",
+}
+
+var descriptionPhrases = []string{
+	"Developed internal tools for the data team",
+	"Designed and implemented a reporting subsystem",
+	"Maintained the production billing pipeline",
+	"Led a team of three junior developers",
+	"Implemented the customer search backend",
+}
+
+var streetNames = []string{
+	"Oak", "Maple", "Pine", "Cedar", "Elm", "Walnut", "First", "Second",
+}
+
+var cityNames = []string{
+	"Springfield", "Riverton", "Lakeside", "Hillview", "Brookfield",
+	"Fairmont",
+}
+
+// quirkyHeadings are section titles that match no concept instance —
+// the vocabulary gaps real Web authors produce. Sections labeled this way
+// cannot be related to a concept, so their content loses its section
+// context (a genuine §4.1 error source).
+var quirkyHeadings = []string{
+	"Background", "History", "Other Information", "Miscellany",
+	"What I Do", "Where I Have Been", "The Rest", "More About Me",
+}
+
+// distractorTopics seed non-resume pages for the crawler experiment.
+var distractorTopics = []string{
+	"Gardening tips for the summer",
+	"Recipe collection for pasta dishes",
+	"Travel notes from the coast",
+	"Local soccer league standings",
+	"Photography gear reviews",
+}

@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"webrev/internal/concept"
+)
+
+// JobConcepts returns a topic vocabulary for the job-postings domain — the
+// "broader types of topics" the paper's conclusion aims at. Like the resume
+// vocabulary it is the minimal user input: concepts, instances, roles.
+func JobConcepts() []concept.Concept {
+	return []concept.Concept{
+		{Name: "position", Role: concept.RoleTitle, Instances: []string{
+			"job title", "position title", "role", "opening", "vacancy",
+			"job opening", "we are hiring",
+		}},
+		{Name: "requirements", Role: concept.RoleTitle, Instances: []string{
+			"qualifications", "required skills", "must have", "we require",
+			"what you bring", "requirements and qualifications",
+		}},
+		{Name: "responsibilities", Role: concept.RoleTitle, Instances: []string{
+			"duties", "what you will do", "the role involves", "day to day",
+		}},
+		{Name: "compensation", Role: concept.RoleTitle, Instances: []string{
+			"salary", "pay", "benefits", "we offer", "compensation and benefits",
+		}},
+		{Name: "about", Role: concept.RoleTitle, Instances: []string{
+			"about us", "company profile", "who we are", "our company",
+		}},
+		{Name: "employer", Role: concept.RoleContent, Instances: []string{
+			"inc", "corp", "llc", "corporation", "laboratories", "systems",
+		}},
+		{Name: "workplace", Role: concept.RoleContent, Instances: []string{
+			"remote", "on-site", "hybrid", "headquarters", "office",
+		}},
+		{Name: "skill", Role: concept.RoleContent, Instances: []string{
+			"java", "c++", "sql", "perl", "unix", "html", "xml", "oracle",
+		}},
+		{Name: "experience-years", Role: concept.RoleContent, Instances: []string{
+			"years of experience", "years experience", "1+ years",
+			"2+ years", "3+ years", "5+ years",
+		}},
+		{Name: "degree-req", Role: concept.RoleContent, Instances: []string{
+			"b.s.", "m.s.", "bachelor", "master", "ph.d.", "degree required",
+		}},
+		{Name: "amount", Role: concept.RoleContent, Instances: []string{
+			"per year", "per hour", "annually", "stock options", "401k",
+			"health insurance",
+		}},
+	}
+}
+
+// JobSet compiles JobConcepts.
+func JobSet() *concept.Set { return concept.MustSet(JobConcepts()...) }
+
+// JobConstraints returns the §4.2-style constraint classes for the domain.
+func JobConstraints() *concept.Constraints {
+	return &concept.Constraints{NoRepeatOnPath: true, MaxDepth: 3, RoleDepth: true}
+}
+
+// JobPosting is one generated posting.
+type JobPosting struct {
+	ID    int
+	Title string
+	HTML  string
+}
+
+// JobGenerator produces job postings deterministically.
+type JobGenerator struct {
+	r      *rand.Rand
+	set    *concept.Set
+	nextID int
+}
+
+// NewJobGenerator returns a generator seeded deterministically.
+func NewJobGenerator(seed int64) *JobGenerator {
+	return &JobGenerator{r: rand.New(rand.NewSource(seed)), set: JobSet()}
+}
+
+var jobTitlePool = []string{
+	"Senior Developer", "Junior Programmer", "Database Engineer",
+	"Systems Analyst", "Web Developer", "QA Engineer", "Support Engineer",
+}
+
+var jobCompanyLines = []string{
+	"%s Corp builds workflow software",
+	"%s Inc runs a trading platform",
+	"%s Systems ships embedded tools",
+	"%s LLC operates data centers",
+}
+
+var jobDutyLines = []string{
+	"Design schemas and tune queries",
+	"Ship features with the platform team",
+	"Review code and mentor juniors",
+	"Automate the release pipeline",
+}
+
+// Posting generates one job posting in one of three site styles.
+func (g *JobGenerator) Posting() *JobPosting {
+	g.nextID++
+	title := jobTitlePool[g.r.Intn(len(jobTitlePool))]
+	company := companyNames[g.r.Intn(len(companyNames))]
+	about := fmt.Sprintf(jobCompanyLines[g.r.Intn(len(jobCompanyLines))], company)
+	years := []string{"1+ years", "2+ years", "3+ years", "5+ years"}[g.r.Intn(4)]
+	deg := []string{"B.S. preferred", "M.S. preferred", "Bachelor required"}[g.r.Intn(3)]
+	nSkills := 2 + g.r.Intn(3)
+	perm := g.r.Perm(len(skillWords))[:nSkills]
+	var skills []string
+	for _, i := range perm {
+		skills = append(skills, skillWords[i])
+	}
+	pay := []string{"90000 per year", "45 per hour", "stock options and 401k"}[g.r.Intn(3)]
+	duty := jobDutyLines[g.r.Intn(len(jobDutyLines))]
+	place := []string{"remote", "on-site", "hybrid"}[g.r.Intn(3)]
+
+	var b strings.Builder
+	style := g.r.Intn(3)
+	switch style {
+	case 0: // headings
+		fmt.Fprintf(&b, "<html><body><h1>Opening: %s</h1>\n", title)
+		fmt.Fprintf(&b, "<h2>About Us</h2><p>%s, %s</p>\n", about, place)
+		fmt.Fprintf(&b, "<h2>Requirements</h2><ul><li>%s</li><li>%s, %s</li></ul>\n",
+			deg, years, strings.Join(skills, ", "))
+		fmt.Fprintf(&b, "<h2>Duties</h2><p>%s</p>\n", duty)
+		fmt.Fprintf(&b, "<h2>Salary</h2><p>%s</p>\n</body></html>\n", pay)
+	case 1: // bold paragraphs
+		fmt.Fprintf(&b, "<html><body><p><b>Vacancy</b></p><p>%s</p>\n", title)
+		fmt.Fprintf(&b, "<p><b>Must Have</b></p><p>%s; %s; %s</p>\n",
+			years, deg, strings.Join(skills, "; "))
+		fmt.Fprintf(&b, "<p><b>We Offer</b></p><p>%s</p>\n", pay)
+		fmt.Fprintf(&b, "<p><b>Who We Are</b></p><p>%s, %s</p>\n</body></html>\n", about, place)
+	default: // two-column table
+		b.WriteString("<html><body><table>\n")
+		fmt.Fprintf(&b, "<tr><td><b>Role</b></td><td>%s</td></tr>\n", title)
+		fmt.Fprintf(&b, "<tr><td><b>Qualifications</b></td><td>%s; %s; %s</td></tr>\n",
+			deg, years, strings.Join(skills, "; "))
+		fmt.Fprintf(&b, "<tr><td><b>Duties</b></td><td>%s</td></tr>\n", duty)
+		fmt.Fprintf(&b, "<tr><td><b>Pay</b></td><td>%s</td></tr>\n", pay)
+		fmt.Fprintf(&b, "<tr><td><b>About Us</b></td><td>%s, %s</td></tr>\n", about, place)
+		b.WriteString("</table></body></html>\n")
+	}
+	return &JobPosting{ID: g.nextID, Title: title, HTML: b.String()}
+}
+
+// Postings generates n postings.
+func (g *JobGenerator) Postings(n int) []*JobPosting {
+	out := make([]*JobPosting, n)
+	for i := range out {
+		out[i] = g.Posting()
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"webrev/internal/convert"
+	"webrev/internal/schema"
+)
+
+func TestJobVocabulary(t *testing.T) {
+	set := JobSet()
+	if set.Len() != 11 {
+		t.Fatalf("job concepts = %d", set.Len())
+	}
+	titles, contents := 0, 0
+	for _, c := range JobConcepts() {
+		switch c.Role {
+		case 1: // RoleTitle
+			titles++
+		case 2: // RoleContent
+			contents++
+		}
+	}
+	if titles != 5 || contents != 6 {
+		t.Fatalf("roles = %d/%d", titles, contents)
+	}
+}
+
+func TestJobPostingsDeterministic(t *testing.T) {
+	a := NewJobGenerator(5).Postings(10)
+	b := NewJobGenerator(5).Postings(10)
+	for i := range a {
+		if a[i].HTML != b[i].HTML {
+			t.Fatalf("posting %d differs", i)
+		}
+	}
+	if a[0].ID != 1 || a[9].ID != 10 {
+		t.Fatalf("ids: %d..%d", a[0].ID, a[9].ID)
+	}
+}
+
+func TestJobPostingsConvertAndDiscover(t *testing.T) {
+	g := NewJobGenerator(11)
+	conv := convert.New(JobSet(), convert.Options{
+		RootName:    "jobposting",
+		Constraints: JobConstraints(),
+	})
+	var docs []*schema.DocPaths
+	for _, p := range g.Postings(60) {
+		x, stats := conv.Convert(p.HTML)
+		if err := x.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if stats.IdentifiedTokens == 0 {
+			t.Fatalf("no tokens identified in posting:\n%s", p.HTML)
+		}
+		docs = append(docs, schema.Extract(x))
+	}
+	m := &schema.Miner{SupThreshold: 0.4, RatioThreshold: 0.1,
+		Constraints: JobConstraints(), Set: JobSet()}
+	s := m.Discover(docs)
+	for _, want := range []string{
+		"jobposting/requirements",
+		"jobposting/compensation",
+		"jobposting/about",
+	} {
+		if !s.Contains(want) {
+			t.Fatalf("schema missing %s:\n%s", want, s.String())
+		}
+	}
+	// Requirements nest skills/experience in the majority of postings.
+	found := false
+	for _, p := range s.Paths() {
+		if strings.HasPrefix(p, "jobposting/requirements/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("requirements has no content children:\n%s", s.String())
+	}
+}

@@ -1,0 +1,245 @@
+// Package crawler substitutes for the topic-specific Web crawler the paper
+// used to gather its resume corpus (§4, ref [20]). It provides an in-memory
+// web site serving a generated corpus over net/http and a concurrent
+// breadth-first crawler with a keyword-based topical filter, so the
+// acquisition path — fetch, filter, collect — is exercised end to end
+// without live Web access.
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"webrev/internal/corpus"
+	"webrev/internal/dom"
+	"webrev/internal/htmlparse"
+)
+
+// Site is an in-memory website. Paths map to HTML bodies.
+type Site struct {
+	pages map[string]string
+}
+
+// BuildSite lays out resumes and distractor pages under a linked index
+// hierarchy: / links to per-letter index pages, which link to the documents.
+func BuildSite(resumes []*corpus.Resume, distractors []string) *Site {
+	s := &Site{pages: make(map[string]string)}
+	byLetter := make(map[byte][]string)
+	for _, r := range resumes {
+		path := fmt.Sprintf("/resumes/%d.html", r.ID)
+		s.pages[path] = r.HTML
+		l := r.Name[0]
+		byLetter[l] = append(byLetter[l], fmt.Sprintf(`<li><a href="%s">%s</a></li>`, path, r.Name))
+	}
+	var letters []byte
+	for l := range byLetter {
+		letters = append(letters, l)
+	}
+	sort.Slice(letters, func(i, j int) bool { return letters[i] < letters[j] })
+
+	var rootLinks []string
+	for _, l := range letters {
+		idx := fmt.Sprintf("/index-%c.html", l)
+		s.pages[idx] = fmt.Sprintf(
+			"<html><body><h1>People %c</h1><ul>%s</ul><a href=\"/\">home</a></body></html>",
+			l, strings.Join(byLetter[l], "\n"))
+		rootLinks = append(rootLinks, fmt.Sprintf(`<li><a href="%s">Index %c</a></li>`, idx, l))
+	}
+	for i, d := range distractors {
+		path := fmt.Sprintf("/misc/%d.html", i)
+		s.pages[path] = d
+		rootLinks = append(rootLinks, fmt.Sprintf(`<li><a href="%s">Page %d</a></li>`, path, i))
+	}
+	s.pages["/"] = "<html><body><h1>Directory</h1><ul>" +
+		strings.Join(rootLinks, "\n") + "</ul></body></html>"
+	return s
+}
+
+// PageCount returns the number of pages the site serves.
+func (s *Site) PageCount() int { return len(s.pages) }
+
+// Handler serves the site.
+func (s *Site) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, ok := s.pages[r.URL.Path]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, body)
+	})
+}
+
+// Page is one fetched document.
+type Page struct {
+	URL     string
+	HTML    string
+	OnTopic bool
+}
+
+// Crawler is a breadth-first, level-parallel crawler with a topical filter.
+// The zero value needs at least Filter; other fields default sensibly.
+type Crawler struct {
+	// Client performs fetches (http.DefaultClient when nil).
+	Client *http.Client
+	// Workers bounds per-level fetch concurrency (default 8).
+	Workers int
+	// MaxPages stops the crawl after this many fetched pages (default 10000).
+	MaxPages int
+	// MaxDepth bounds link distance from the seed (default 10).
+	MaxDepth int
+	// Filter classifies a fetched page as on-topic. Off-topic pages still
+	// have their links followed (index pages are off-topic but lead to
+	// resumes). Nil keeps everything.
+	Filter func(url, html string) bool
+}
+
+// Crawl fetches breadth-first from seed and returns every fetched page in a
+// deterministic (URL-sorted per level) order.
+func (c *Crawler) Crawl(seed string) ([]Page, error) {
+	client := c.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	maxPages := c.MaxPages
+	if maxPages <= 0 {
+		maxPages = 10000
+	}
+	maxDepth := c.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 10
+	}
+	seedURL, err := url.Parse(seed)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: bad seed: %w", err)
+	}
+
+	visited := map[string]bool{seedURL.String(): true}
+	frontier := []string{seedURL.String()}
+	var pages []Page
+
+	for depth := 0; depth <= maxDepth && len(frontier) > 0 && len(pages) < maxPages; depth++ {
+		if len(pages)+len(frontier) > maxPages {
+			frontier = frontier[:maxPages-len(pages)]
+		}
+		results := make([]fetchResult, len(frontier))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, u := range frontier {
+			wg.Add(1)
+			go func(i int, u string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] = fetch(client, u)
+			}(i, u)
+		}
+		wg.Wait()
+
+		var next []string
+		for _, res := range results {
+			if res.err != nil {
+				continue // unreachable pages are skipped, not fatal
+			}
+			p := Page{URL: res.url, HTML: res.body}
+			if c.Filter != nil {
+				p.OnTopic = c.Filter(res.url, res.body)
+			} else {
+				p.OnTopic = true
+			}
+			pages = append(pages, p)
+			base, err := url.Parse(res.url)
+			if err != nil {
+				continue
+			}
+			for _, link := range ExtractLinks(res.body) {
+				ref, err := url.Parse(link)
+				if err != nil {
+					continue
+				}
+				abs := base.ResolveReference(ref)
+				if abs.Host != seedURL.Host || abs.Scheme != seedURL.Scheme {
+					continue // stay on site, like the topical crawler
+				}
+				abs.Fragment = ""
+				u := abs.String()
+				if !visited[u] {
+					visited[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		sort.Strings(next)
+		frontier = next
+	}
+	return pages, nil
+}
+
+type fetchResult struct {
+	url  string
+	body string
+	err  error
+}
+
+func fetch(client *http.Client, u string) fetchResult {
+	resp, err := client.Get(u)
+	if err != nil {
+		return fetchResult{url: u, err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fetchResult{url: u, err: fmt.Errorf("status %d", resp.StatusCode)}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fetchResult{url: u, err: err}
+	}
+	return fetchResult{url: u, body: string(body)}
+}
+
+// ExtractLinks returns the href values of anchor elements in document order.
+func ExtractLinks(html string) []string {
+	doc := htmlparse.Parse(html)
+	var out []string
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode && n.Tag == "a" {
+			if href, ok := n.Attr("href"); ok && href != "" {
+				out = append(out, href)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ResumeFilter returns a topical filter that scores a page by occurrences of
+// resume-section keywords and accepts it at minHits or more — the "looked
+// like resumes" heuristic of the paper's crawler.
+func ResumeFilter(minHits int) func(string, string) bool {
+	keywords := []string{
+		"education", "experience", "employment", "objective", "skills",
+		"references", "resume", "curriculum vitae", "gpa", "coursework",
+		"university", "college", "institute", "b.s.", "m.s.", "b.a.",
+		"mba", "ph.d.", "engineer", "qualifications",
+	}
+	return func(_, html string) bool {
+		low := strings.ToLower(html)
+		hits := 0
+		for _, k := range keywords {
+			if strings.Contains(low, k) {
+				hits++
+			}
+		}
+		return hits >= minHits
+	}
+}

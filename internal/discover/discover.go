@@ -1,0 +1,172 @@
+// Package discover implements the paper's stated future work (§5): "we are
+// developing different methods to automatically extract concept instances
+// from a training set of HTML documents and thus to further automate the
+// process."
+//
+// The method mines the val attributes of converted XML documents: val text
+// is exactly what the concept instance rule could NOT identify, folded to
+// the nearest concept ancestor. Words that recur in the unidentified text
+// of the same concept context across many documents are strong instance
+// candidates for that context, ranked for user review — the paper keeps the
+// user in the loop ("a feedback to the user who … associates more concept
+// instances with concepts", §2.3.1).
+package discover
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"webrev/internal/concept"
+	"webrev/internal/dom"
+)
+
+// Suggestion is one candidate concept instance.
+type Suggestion struct {
+	Concept  string   // the context concept whose val contained the word
+	Instance string   // the candidate instance (lowercase)
+	Docs     int      // number of documents supporting the suggestion
+	Examples []string // up to three val snippets containing the word
+}
+
+// Options tunes suggestion mining.
+type Options struct {
+	// MinDocs is the document-frequency floor for a suggestion (default 3).
+	MinDocs int
+	// MaxPerConcept caps suggestions per concept (default 10).
+	MaxPerConcept int
+}
+
+// stopwords excluded from candidates: function words and generic filler
+// that carries no concept signal.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "at": true, "by": true, "for": true,
+	"from": true, "in": true, "of": true, "on": true, "or": true, "the": true,
+	"to": true, "with": true, "is": true, "was": true, "are": true,
+	"were": true, "as": true, "my": true, "i": true, "we": true,
+}
+
+// SuggestInstances mines converted documents for instance candidates. set
+// is the current vocabulary; words already covered by any concept instance
+// are never suggested.
+func SuggestInstances(docs []*dom.Node, set *concept.Set, opts Options) []Suggestion {
+	if opts.MinDocs <= 0 {
+		opts.MinDocs = 3
+	}
+	if opts.MaxPerConcept <= 0 {
+		opts.MaxPerConcept = 10
+	}
+
+	type key struct{ concept, word string }
+	docsFor := make(map[key]map[int]bool)
+	examples := make(map[key][]string)
+
+	for di, doc := range docs {
+		doc.Walk(func(n *dom.Node) bool {
+			// Every element's val is mined: concept elements give a concept
+			// context, and the document root collects the text no concept
+			// claimed at all (context = the root's own tag).
+			if n.Type != dom.ElementNode {
+				return true
+			}
+			if !set.Has(n.Tag) && n.Parent != nil {
+				return true
+			}
+			val := n.Val()
+			if val == "" {
+				return true
+			}
+			for _, w := range candidateWords(val) {
+				if covered(set, w) {
+					continue
+				}
+				k := key{n.Tag, w}
+				seen := docsFor[k]
+				if seen == nil {
+					seen = make(map[int]bool)
+					docsFor[k] = seen
+				}
+				if !seen[di] {
+					seen[di] = true
+					if len(examples[k]) < 3 {
+						examples[k] = append(examples[k], snippet(val))
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	perConcept := make(map[string][]Suggestion)
+	for k, seen := range docsFor {
+		if len(seen) < opts.MinDocs {
+			continue
+		}
+		perConcept[k.concept] = append(perConcept[k.concept], Suggestion{
+			Concept:  k.concept,
+			Instance: k.word,
+			Docs:     len(seen),
+			Examples: examples[k],
+		})
+	}
+	var out []Suggestion
+	for _, ss := range perConcept {
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].Docs != ss[j].Docs {
+				return ss[i].Docs > ss[j].Docs
+			}
+			return ss[i].Instance < ss[j].Instance
+		})
+		if len(ss) > opts.MaxPerConcept {
+			ss = ss[:opts.MaxPerConcept]
+		}
+		out = append(out, ss...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Concept != out[j].Concept {
+			return out[i].Concept < out[j].Concept
+		}
+		if out[i].Docs != out[j].Docs {
+			return out[i].Docs > out[j].Docs
+		}
+		return out[i].Instance < out[j].Instance
+	})
+	return out
+}
+
+// candidateWords extracts lowercase alphabetic words of length ≥ 3,
+// excluding stopwords and pure numbers.
+func candidateWords(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		w := cur.String()
+		cur.Reset()
+		if len(w) < 3 || stopwords[w] {
+			return
+		}
+		out = append(out, w)
+	}
+	for _, r := range strings.ToLower(text) {
+		if unicode.IsLetter(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// covered reports whether word already appears in any concept instance.
+func covered(set *concept.Set, word string) bool {
+	ms := set.FindAll(word)
+	return len(ms) > 0
+}
+
+func snippet(val string) string {
+	if len(val) > 60 {
+		return val[:60] + "…"
+	}
+	return val
+}

@@ -1,0 +1,147 @@
+package discover
+
+import (
+	"reflect"
+	"testing"
+
+	"webrev/internal/concept"
+	"webrev/internal/convert"
+	"webrev/internal/corpus"
+	"webrev/internal/dom"
+)
+
+func elv(tag, val string, children ...*dom.Node) *dom.Node {
+	return dom.Elem(tag, []string{"val", val}, children...)
+}
+
+func smallSet() *concept.Set {
+	return concept.MustSet(
+		concept.Concept{Name: "education", Role: concept.RoleTitle},
+		concept.Concept{Name: "institution", Role: concept.RoleContent, Instances: []string{"college"}},
+	)
+}
+
+func TestSuggestInstancesBasic(t *testing.T) {
+	set := smallSet()
+	// "university" is unknown to the set and recurs in education vals.
+	var docs []*dom.Node
+	for i := 0; i < 4; i++ {
+		docs = append(docs, elv("resume", "",
+			elv("education", "University of Somewhere"),
+		))
+	}
+	got := SuggestInstances(docs, set, Options{MinDocs: 3})
+	if len(got) == 0 {
+		t.Fatal("no suggestions")
+	}
+	found := false
+	for _, s := range got {
+		if s.Concept == "education" && s.Instance == "university" {
+			found = true
+			if s.Docs != 4 {
+				t.Fatalf("docs = %d", s.Docs)
+			}
+			if len(s.Examples) == 0 {
+				t.Fatal("no examples recorded")
+			}
+		}
+		if s.Instance == "college" {
+			t.Fatal("already-covered word suggested")
+		}
+		if s.Instance == "of" {
+			t.Fatal("stopword suggested")
+		}
+	}
+	if !found {
+		t.Fatalf("university not suggested: %+v", got)
+	}
+}
+
+func TestSuggestRequiresMinDocs(t *testing.T) {
+	set := smallSet()
+	docs := []*dom.Node{
+		elv("resume", "", elv("education", "Polytechnic of X")),
+		elv("resume", "", elv("education", "Polytechnic of Y")),
+	}
+	if got := SuggestInstances(docs, set, Options{MinDocs: 3}); len(got) != 0 {
+		t.Fatalf("below-threshold suggestion: %+v", got)
+	}
+	if got := SuggestInstances(docs, set, Options{MinDocs: 2}); len(got) == 0 {
+		t.Fatal("at-threshold suggestion missing")
+	}
+}
+
+func TestSuggestCapsPerConcept(t *testing.T) {
+	set := smallSet()
+	var docs []*dom.Node
+	for i := 0; i < 3; i++ {
+		docs = append(docs, elv("resume", "",
+			elv("education", "alpha beta gamma delta epsilon zeta eta theta iota kappa lambda moo"),
+		))
+	}
+	got := SuggestInstances(docs, set, Options{MinDocs: 3, MaxPerConcept: 5})
+	if len(got) != 5 {
+		t.Fatalf("cap not applied: %d suggestions", len(got))
+	}
+}
+
+func TestSuggestDeterministicOrder(t *testing.T) {
+	set := smallSet()
+	docs := []*dom.Node{
+		elv("resume", "", elv("education", "zebra apple")),
+		elv("resume", "", elv("education", "zebra apple")),
+		elv("resume", "", elv("education", "zebra apple")),
+	}
+	a := SuggestInstances(docs, set, Options{MinDocs: 2})
+	b := SuggestInstances(docs, set, Options{MinDocs: 2})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("non-deterministic output")
+	}
+	if a[0].Instance > a[1].Instance {
+		t.Fatalf("tie-break order wrong: %+v", a)
+	}
+}
+
+func TestCandidateWords(t *testing.T) {
+	got := candidateWords("The University of California, 1996! x and Davis")
+	want := []string{"university", "california", "davis"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("words = %v", got)
+	}
+}
+
+// End to end with the real pipeline: drop "university" from the vocabulary,
+// convert a corpus, and verify the discovery recovers it as a candidate.
+func TestSuggestRecoversDroppedInstance(t *testing.T) {
+	var reduced []concept.Concept
+	for _, c := range concept.ResumeConcepts() {
+		if c.Name == "institution" {
+			var kept []string
+			for _, in := range c.Instances {
+				if in != "university" && in != "state university" && in != "univ" {
+					kept = append(kept, in)
+				}
+			}
+			c.Instances = kept
+		}
+		reduced = append(reduced, c)
+	}
+	set := concept.MustSet(reduced...)
+	conv := convert.New(set, convert.Options{
+		RootName:    "resume",
+		Constraints: concept.ResumeConstraints(),
+	})
+	g := corpus.New(corpus.Options{Seed: 55})
+	var docs []*dom.Node
+	for _, r := range g.Corpus(40) {
+		x, _ := conv.Convert(r.HTML)
+		docs = append(docs, x)
+	}
+	got := SuggestInstances(docs, set, Options{MinDocs: 5})
+	for _, s := range got {
+		if s.Instance == "university" {
+			return // recovered
+		}
+	}
+	t.Fatalf("dropped instance not recovered; suggestions: %+v", got)
+}

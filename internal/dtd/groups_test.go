@@ -1,0 +1,194 @@
+package dtd
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"webrev/internal/schema"
+)
+
+func TestDetectTuple(t *testing.T) {
+	cases := []struct {
+		name string
+		seqs [][]string
+		want []string
+		ok   bool
+	}{
+		{
+			name: "clean alternation",
+			seqs: [][]string{
+				{"a", "b", "a", "b"},
+				{"a", "b"},
+				{"a", "b", "a", "b", "a", "b"},
+			},
+			want: []string{"a", "b"},
+			ok:   true,
+		},
+		{
+			name: "triple tuple",
+			seqs: [][]string{
+				{"x", "y", "z", "x", "y", "z"},
+				{"x", "y", "z"},
+			},
+			want: []string{"x", "y", "z"},
+			ok:   true,
+		},
+		{
+			name: "no repetition anywhere",
+			seqs: [][]string{{"a", "b"}, {"a", "b"}},
+			ok:   false, // single occurrence each: plain sequence suffices
+		},
+		{
+			name: "irregular",
+			seqs: [][]string{{"a", "b", "b"}, {"a", "b", "a", "b"}},
+			ok:   false,
+		},
+		{
+			name: "empty",
+			seqs: nil,
+			ok:   false,
+		},
+		{
+			name: "below coverage threshold",
+			seqs: [][]string{
+				{"a", "b", "a", "b"},
+				{"c"}, {"c"}, {"c"},
+			},
+			ok: false,
+		},
+	}
+	for _, c := range cases {
+		got, ok := DetectTuple(c.seqs, 0.8)
+		if ok != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: tuple = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTupleRepeats(t *testing.T) {
+	if k, ok := tupleRepeats([]string{"a", "b"}, []string{"a", "b", "a", "b"}); !ok || k != 2 {
+		t.Fatalf("k=%d ok=%v", k, ok)
+	}
+	if _, ok := tupleRepeats([]string{"a", "b"}, []string{"a", "b", "a"}); ok {
+		t.Fatal("partial tuple accepted")
+	}
+	if _, ok := tupleRepeats(nil, []string{"a"}); ok {
+		t.Fatal("empty tuple accepted")
+	}
+}
+
+// groupCorpus produces documents whose education sections strictly
+// alternate institution and degree — the (e1,e2)+ pattern of §3.3.
+func groupCorpus() []*schema.DocPaths {
+	mk := func(pairs int) *schema.DocPaths {
+		edu := el("education")
+		for i := 0; i < pairs; i++ {
+			edu.AppendChild(el("institution"))
+			edu.AppendChild(el("degree"))
+		}
+		return schema.Extract(el("resume", edu))
+	}
+	return []*schema.DocPaths{mk(2), mk(3), mk(1), mk(2)}
+}
+
+func TestFromSchemaDetectsGroups(t *testing.T) {
+	s := (&schema.Miner{SupThreshold: 0.5}).Discover(groupCorpus())
+	d := FromSchema(s, Options{DetectGroups: true})
+	edu := d.Element("education")
+	if len(edu.Children) != 1 || edu.Children[0].Group == nil {
+		t.Fatalf("group not detected: %+v", edu.Children)
+	}
+	g := edu.Children[0]
+	if g.Repeat != Plus || len(g.Group) != 2 {
+		t.Fatalf("group = %+v", g)
+	}
+	if g.Group[0].Name != "institution" || g.Group[1].Name != "degree" {
+		t.Fatalf("group members = %+v", g.Group)
+	}
+	if !strings.Contains(d.Render(), "(institution, degree)+") {
+		t.Fatalf("render:\n%s", d.Render())
+	}
+	// Without the option the model stays flat.
+	plain := FromSchema(s, Options{})
+	if hasGroup(plain.Element("education")) {
+		t.Fatal("groups detected without the option")
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	s := (&schema.Miner{SupThreshold: 0.5}).Discover(groupCorpus())
+	d := FromSchema(s, Options{DetectGroups: true})
+	good := el("resume", el("education",
+		el("institution"), el("degree"),
+		el("institution"), el("degree"),
+	))
+	if !d.Conforms(good) {
+		t.Fatalf("good doc rejected: %v", d.Validate(good))
+	}
+	incomplete := el("resume", el("education",
+		el("institution"), el("degree"), el("institution"),
+	))
+	if d.Conforms(incomplete) {
+		t.Fatal("incomplete tuple accepted")
+	}
+	wrongOrder := el("resume", el("education", el("degree"), el("institution")))
+	if d.Conforms(wrongOrder) {
+		t.Fatal("wrong order accepted")
+	}
+	empty := el("resume", el("education"))
+	if d.Conforms(empty) {
+		t.Fatal("empty group with Plus accepted")
+	}
+}
+
+func TestGroupRenderParseRoundTrip(t *testing.T) {
+	s := (&schema.Miner{SupThreshold: 0.5}).Discover(groupCorpus())
+	d := FromSchema(s, Options{DetectGroups: true})
+	parsed, err := Parse(d.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edu := parsed.Element("education")
+	if len(edu.Children) != 1 || edu.Children[0].Group == nil || edu.Children[0].Repeat != Plus {
+		t.Fatalf("group lost in round trip: %+v", edu.Children)
+	}
+	doc := el("resume", el("education", el("institution"), el("degree")))
+	if !parsed.Conforms(doc) {
+		t.Fatalf("parsed group DTD rejects valid doc: %v", parsed.Validate(doc))
+	}
+}
+
+func TestGroupCycleDemotion(t *testing.T) {
+	// A group containing the element itself must be demoted to optional.
+	d := &DTD{RootName: "a", index: map[string]*Element{}}
+	a := &Element{Name: "a", Children: []Child{{
+		Repeat: Plus,
+		Group:  []Child{{Name: "b"}, {Name: "a"}},
+	}}}
+	b := &Element{Name: "b"}
+	d.Elements = []*Element{a, b}
+	d.index["a"] = a
+	d.index["b"] = b
+	d.demoteRequirementCycles()
+	if a.Children[0].Repeat != Star {
+		t.Fatalf("cyclic group not demoted: %+v", a.Children[0])
+	}
+}
+
+func TestParseGroupErrors(t *testing.T) {
+	cases := []string{
+		"<!ELEMENT r ((#PCDATA), (a, (b))+)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>",
+		"<!ELEMENT r ((#PCDATA), ()+)>",
+		"<!ELEMENT r ((#PCDATA), (a, b)+)>\n<!ELEMENT a (#PCDATA)>", // b undeclared
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

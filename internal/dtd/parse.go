@@ -1,0 +1,162 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads DTD text in the dialect Render emits — <!ELEMENT> lines with
+// (#PCDATA) leaves or ((#PCDATA), child-sequence) content models, plus
+// optional <!ATTLIST> lines (which are validated for shape and otherwise
+// ignored) — and reconstructs the DTD. The first element declared is the
+// root.
+func Parse(text string) (*DTD, error) {
+	d := &DTD{index: make(map[string]*Element)}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "<!--") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "<!ELEMENT"):
+			el, err := parseElementDecl(line)
+			if err != nil {
+				return nil, fmt.Errorf("dtd: line %d: %w", ln+1, err)
+			}
+			if _, dup := d.index[el.Name]; dup {
+				return nil, fmt.Errorf("dtd: line %d: duplicate element %q", ln+1, el.Name)
+			}
+			if d.RootName == "" {
+				d.RootName = el.Name
+			}
+			d.Elements = append(d.Elements, el)
+			d.index[el.Name] = el
+		case strings.HasPrefix(line, "<!ATTLIST"):
+			if !strings.HasSuffix(line, ">") {
+				return nil, fmt.Errorf("dtd: line %d: unterminated ATTLIST", ln+1)
+			}
+		default:
+			return nil, fmt.Errorf("dtd: line %d: unrecognized declaration %q", ln+1, line)
+		}
+	}
+	// Every referenced child must be declared.
+	for _, el := range d.Elements {
+		for _, c := range el.Children {
+			names := []string{c.Name}
+			if c.Group != nil {
+				names = names[:0]
+				for _, m := range c.Group {
+					names = append(names, m.Name)
+				}
+			}
+			for _, name := range names {
+				if d.index[name] == nil {
+					return nil, fmt.Errorf("dtd: element %q references undeclared %q", el.Name, name)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+func parseElementDecl(line string) (*Element, error) {
+	body := strings.TrimPrefix(line, "<!ELEMENT")
+	body = strings.TrimSpace(body)
+	if !strings.HasSuffix(body, ">") {
+		return nil, fmt.Errorf("unterminated ELEMENT declaration")
+	}
+	body = strings.TrimSuffix(body, ">")
+	i := strings.IndexAny(body, " \t")
+	if i < 0 {
+		return nil, fmt.Errorf("missing content model")
+	}
+	name := body[:i]
+	model := strings.TrimSpace(body[i:])
+	el := &Element{Name: name}
+	switch {
+	case model == "(#PCDATA)":
+		return el, nil
+	case strings.HasPrefix(model, "((#PCDATA)") && strings.HasSuffix(model, ")"):
+		rest := strings.TrimPrefix(model, "((#PCDATA)")
+		rest = strings.TrimSuffix(rest, ")")
+		for _, part := range splitTopLevel(rest) {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			child, err := parseParticle(part)
+			if err != nil {
+				return nil, fmt.Errorf("%w in %q", err, model)
+			}
+			el.Children = append(el.Children, child)
+		}
+		return el, nil
+	default:
+		return nil, fmt.Errorf("unsupported content model %q", model)
+	}
+}
+
+// splitTopLevel splits a comma-separated list, ignoring commas inside
+// parentheses.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// parseParticle parses one content-model particle: name, name+, name?,
+// name*, or a group (a, b)+ etc.
+func parseParticle(part string) (Child, error) {
+	var child Child
+	switch part[len(part)-1] {
+	case '+':
+		child.Repeat = Plus
+		part = part[:len(part)-1]
+	case '?':
+		child.Repeat = Opt
+		part = part[:len(part)-1]
+	case '*':
+		child.Repeat = Star
+		part = part[:len(part)-1]
+	}
+	part = strings.TrimSpace(part)
+	if part == "" {
+		return child, fmt.Errorf("empty child name")
+	}
+	if strings.HasPrefix(part, "(") {
+		if !strings.HasSuffix(part, ")") {
+			return child, fmt.Errorf("unterminated group %q", part)
+		}
+		inner := part[1 : len(part)-1]
+		for _, m := range strings.Split(inner, ",") {
+			m = strings.TrimSpace(m)
+			if m == "" || strings.ContainsAny(m, "()+?*") {
+				return child, fmt.Errorf("unsupported group member %q", m)
+			}
+			child.Group = append(child.Group, Child{Name: m})
+		}
+		if len(child.Group) == 0 {
+			return child, fmt.Errorf("empty group")
+		}
+		return child, nil
+	}
+	if strings.ContainsAny(part, "()") {
+		return child, fmt.Errorf("malformed particle %q", part)
+	}
+	child.Name = part
+	return child, nil
+}

@@ -1,0 +1,202 @@
+// Package entity decodes HTML character references and escapes text for XML
+// output. The Go standard library offers no HTML support, so the subset of
+// named references that occurs in real-world documents (and everything the
+// corpus generator emits) is implemented here, together with full numeric
+// reference handling.
+package entity
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// named maps entity names (without & and ;) to their replacement text.
+// This covers the HTML 3.2/4.0 Latin-1 set plus the common symbol entities —
+// the vocabulary of the era the paper's corpus comes from.
+var named = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": '\u0020', "iexcl": '¡', "cent": '¢', "pound": '£',
+	"curren": '¤', "yen": '¥', "brvbar": '¦', "sect": '§',
+	"uml": '¨', "copy": '©', "ordf": 'ª', "laquo": '«',
+	"not": '¬', "shy": '­', "reg": '®', "macr": '¯',
+	"deg": '°', "plusmn": '±', "sup2": '²', "sup3": '³',
+	"acute": '´', "micro": 'µ', "para": '¶', "middot": '·',
+	"cedil": '¸', "sup1": '¹', "ordm": 'º', "raquo": '»',
+	"frac14": '¼', "frac12": '½', "frac34": '¾', "iquest": '¿',
+	"Agrave": 'À', "Aacute": 'Á', "Acirc": 'Â', "Atilde": 'Ã',
+	"Auml": 'Ä', "Aring": 'Å', "AElig": 'Æ', "Ccedil": 'Ç',
+	"Egrave": 'È', "Eacute": 'É', "Ecirc": 'Ê', "Euml": 'Ë',
+	"Igrave": 'Ì', "Iacute": 'Í', "Icirc": 'Î', "Iuml": 'Ï',
+	"ETH": 'Ð', "Ntilde": 'Ñ', "Ograve": 'Ò', "Oacute": 'Ó',
+	"Ocirc": 'Ô', "Otilde": 'Õ', "Ouml": 'Ö', "times": '×',
+	"Oslash": 'Ø', "Ugrave": 'Ù', "Uacute": 'Ú', "Ucirc": 'Û',
+	"Uuml": 'Ü', "Yacute": 'Ý', "THORN": 'Þ', "szlig": 'ß',
+	"agrave": 'à', "aacute": 'á', "acirc": 'â', "atilde": 'ã',
+	"auml": 'ä', "aring": 'å', "aelig": 'æ', "ccedil": 'ç',
+	"egrave": 'è', "eacute": 'é', "ecirc": 'ê', "euml": 'ë',
+	"igrave": 'ì', "iacute": 'í', "icirc": 'î', "iuml": 'ï',
+	"eth": 'ð', "ntilde": 'ñ', "ograve": 'ò', "oacute": 'ó',
+	"ocirc": 'ô', "otilde": 'õ', "ouml": 'ö', "divide": '÷',
+	"oslash": 'ø', "ugrave": 'ù', "uacute": 'ú', "ucirc": 'û',
+	"uuml": 'ü', "yacute": 'ý', "thorn": 'þ', "yuml": 'ÿ',
+	"bull": '•', "hellip": '…', "prime": '′', "Prime": '″',
+	"ndash": '–', "mdash": '—', "lsquo": '‘', "rsquo": '’',
+	"sbquo": '‚', "ldquo": '“', "rdquo": '”', "bdquo": '„',
+	"dagger": '†', "Dagger": '‡', "permil": '‰', "lsaquo": '‹',
+	"rsaquo": '›', "euro": '€', "trade": '™', "minus": '−',
+}
+
+// Decode replaces every character reference in s with its text. Malformed
+// references (unknown names, bad numbers, missing semicolons on non-legacy
+// names) are left verbatim, matching tolerant browser behaviour.
+func Decode(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	s = s[amp:]
+	for len(s) > 0 {
+		if s[0] != '&' {
+			next := strings.IndexByte(s, '&')
+			if next < 0 {
+				b.WriteString(s)
+				break
+			}
+			b.WriteString(s[:next])
+			s = s[next:]
+			continue
+		}
+		r, consumed := decodeOne(s)
+		if consumed == 0 {
+			b.WriteByte('&')
+			s = s[1:]
+			continue
+		}
+		b.WriteString(r)
+		s = s[consumed:]
+	}
+	return b.String()
+}
+
+// decodeOne decodes a single reference at the start of s (which begins with
+// '&'). It returns the replacement and the number of bytes consumed, or
+// consumed == 0 when no valid reference starts there.
+func decodeOne(s string) (string, int) {
+	if len(s) < 2 {
+		return "", 0
+	}
+	if s[1] == '#' {
+		return decodeNumeric(s)
+	}
+	// Longest-match a named entity; require the terminating semicolon except
+	// for a few legacy names browsers accept bare.
+	end := 1
+	for end < len(s) && end < 32 && isAlnum(s[end]) {
+		end++
+	}
+	name := s[1:end]
+	if end < len(s) && s[end] == ';' {
+		if r, ok := named[name]; ok {
+			return string(r), end + 1
+		}
+		return "", 0
+	}
+	// Legacy bare forms accepted without a semicolon: browsers match the
+	// longest legacy name that prefixes the alphanumeric run, so "&gty"
+	// decodes as ">y".
+	for l := len(name); l >= 2; l-- {
+		switch p := name[:l]; p {
+		case "amp", "lt", "gt", "quot", "nbsp", "copy", "reg":
+			return string(named[p]), 1 + l
+		}
+	}
+	return "", 0
+}
+
+func decodeNumeric(s string) (string, int) {
+	i := 2
+	base := 10
+	if i < len(s) && (s[i] == 'x' || s[i] == 'X') {
+		base = 16
+		i++
+	}
+	start := i
+	var v int
+	for i < len(s) {
+		c := s[i]
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		default:
+			goto done
+		}
+		v = v*base + d
+		if v > utf8.MaxRune {
+			return "", 0
+		}
+		i++
+	}
+done:
+	if i == start {
+		return "", 0
+	}
+	if v == 0 || !utf8.ValidRune(rune(v)) {
+		v = int(utf8.RuneError)
+	}
+	if i < len(s) && s[i] == ';' {
+		i++
+	}
+	return string(rune(v)), i
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// EscapeText escapes s for use as XML character data.
+func EscapeText(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes s for use inside a double-quoted XML attribute value.
+func EscapeAttr(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\n':
+			b.WriteString("&#10;")
+		case '\t':
+			b.WriteString("&#9;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

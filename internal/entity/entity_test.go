@@ -1,0 +1,141 @@
+package entity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeBasics(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"plain text", "plain text"},
+		{"&amp;", "&"},
+		{"&lt;b&gt;", "<b>"},
+		{"a &amp; b", "a & b"},
+		{"&quot;hi&quot;", `"hi"`},
+		{"&apos;", "'"},
+		{"&nbsp;", " "},
+		{"&copy; 2001", "© 2001"},
+		{"&eacute;", "é"},
+		{"&mdash;", "—"},
+		{"&bull; item", "• item"},
+		{"&amp;amp;", "&amp;"}, // double-escaped decodes once
+	}
+	for _, c := range cases {
+		if got := Decode(c.in); got != c.want {
+			t.Errorf("Decode(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeNumeric(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"&#65;", "A"},
+		{"&#x41;", "A"},
+		{"&#X41;", "A"},
+		{"&#233;", "é"},
+		{"&#x2014;", "—"},
+		{"&#65", "A"}, // missing semicolon tolerated for numeric
+		{"&#0;", "�"},
+		{"&#xD800;", "�"}, // surrogate -> replacement
+	}
+	for _, c := range cases {
+		if got := Decode(c.in); got != c.want {
+			t.Errorf("Decode(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := []string{
+		"&", "&;", "&#;", "&#x;", "&nosuchentity;", "&unknown", "& plain",
+		"100 & 200", "&#99999999999;",
+	}
+	for _, c := range cases {
+		got := Decode(c)
+		// Malformed references are passed through verbatim.
+		if !strings.Contains(got, "&") && strings.Contains(c, "&") && c != "&#99999999999;" {
+			t.Errorf("Decode(%q) = %q: malformed reference should survive", c, got)
+		}
+	}
+	if got := Decode("&nosuchentity;"); got != "&nosuchentity;" {
+		t.Errorf("unknown entity mangled: %q", got)
+	}
+}
+
+func TestDecodeLegacyBare(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Tom &amp Jerry", "Tom & Jerry"},
+		{"a &lt b", "a < b"},
+		{"x&gty", "x>y"},
+	}
+	for _, c := range cases {
+		if got := Decode(c.in); got != c.want {
+			t.Errorf("Decode(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeText(t *testing.T) {
+	if got := EscapeText(`a<b>&"c"`); got != `a&lt;b&gt;&amp;"c"` {
+		t.Fatalf("EscapeText = %q", got)
+	}
+}
+
+func TestEscapeAttr(t *testing.T) {
+	if got := EscapeAttr("a\"b<c&d\ne\tf"); got != "a&quot;b&lt;c&amp;d&#10;e&#9;f" {
+		t.Fatalf("EscapeAttr = %q", got)
+	}
+}
+
+func TestPropertyEscapeDecodeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		// Strip invalid UTF-8: escaping contract assumes valid strings.
+		s = strings.ToValidUTF8(s, "")
+		return Decode(EscapeText(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEscapeAttrRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		s = strings.ToValidUTF8(s, "")
+		return Decode(EscapeAttr(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecodeNeverPanicsAndIsIdempotentOnPlain(t *testing.T) {
+	f := func(s string) bool {
+		out := Decode(s)
+		if !strings.ContainsAny(s, "&") {
+			return out == s
+		}
+		_ = Decode(out) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecodePlain(b *testing.B) {
+	s := strings.Repeat("the quick brown fox jumps over the lazy dog ", 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decode(s)
+	}
+}
+
+func BenchmarkDecodeDense(b *testing.B) {
+	s := strings.Repeat("a&amp;b&eacute;c&#x41;d ", 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decode(s)
+	}
+}

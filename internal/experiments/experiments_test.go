@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAccuracy(t *testing.T) {
+	r := RunAccuracy(50, 1)
+	if r.Docs != 50 || r.Aggregate.Docs != 50 {
+		t.Fatalf("docs = %d/%d", r.Docs, r.Aggregate.Docs)
+	}
+	// The paper reports 90.8% accuracy; the reproduction must land in the
+	// same regime — structurally correct recovery with a modest error tail.
+	acc := r.Aggregate.Accuracy()
+	if acc < 0.80 || acc > 1.0 {
+		t.Fatalf("accuracy = %.3f, outside the paper's regime\n%s", acc, r.Report())
+	}
+	if r.Aggregate.AvgConceptNodes < 20 {
+		t.Fatalf("documents too small: %.1f concept nodes", r.Aggregate.AvgConceptNodes)
+	}
+	rep := r.Report()
+	for _, want := range []string{"Figure 4", "accuracy", "histogram"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestRunConstraints(t *testing.T) {
+	r := RunConstraints(30, 2)
+	if r.Exhaustive != PaperExhaustiveSpace {
+		t.Fatalf("exhaustive = %d, want %d", r.Exhaustive, PaperExhaustiveSpace)
+	}
+	if r.Constrained <= 0 || r.Constrained >= r.Exhaustive/100 {
+		t.Fatalf("constrained = %d (must be a tiny fraction of %d)", r.Constrained, r.Exhaustive)
+	}
+	if r.ExploredConstrained <= 0 || r.ExploredConstrained > r.ExploredFree {
+		t.Fatalf("explored: constrained %d vs free %d", r.ExploredConstrained, r.ExploredFree)
+	}
+	if !strings.Contains(r.Report(), "§4.2") {
+		t.Fatal("report malformed")
+	}
+}
+
+func TestRunScalability(t *testing.T) {
+	r := RunScalability([]int{10, 20, 40}, 3)
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].ConceptNodes <= r.Points[i-1].ConceptNodes {
+			t.Fatalf("concept nodes not growing: %+v", r.Points)
+		}
+	}
+	// Linearity: the fit should be strong even on small runs.
+	if r.R2 < 0.7 {
+		t.Fatalf("R² = %.3f — scaling not linear?\n%s", r.R2, r.Report())
+	}
+	if !strings.Contains(r.Report(), "Figure 5") {
+		t.Fatal("report malformed")
+	}
+}
+
+func TestRunSampleDTD(t *testing.T) {
+	r := RunSampleDTD(100, 4)
+	if r.Elements < 10 {
+		t.Fatalf("DTD has only %d elements:\n%s", r.Elements, r.DTDText)
+	}
+	for _, want := range []string{"resume", "education", "experience", "institution", "degree"} {
+		if !strings.Contains(r.DTDText, want) {
+			t.Fatalf("DTD missing %s:\n%s", want, r.DTDText)
+		}
+	}
+	// Repetition must be discovered for education (multi-entry sections).
+	if !strings.Contains(r.DTDText, "+") {
+		t.Fatalf("no repetitive element discovered:\n%s", r.DTDText)
+	}
+}
+
+func TestRunClassifier(t *testing.T) {
+	r := RunClassifier(40, 40, 1)
+	if r.DroppedInstances < 30 {
+		t.Fatalf("vocabulary barely reduced: %d dropped", r.DroppedInstances)
+	}
+	// The classifier must recover a substantial share of the lost
+	// identifications without hurting structural accuracy.
+	if r.RatioWith < r.RatioWithout+0.10 {
+		t.Fatalf("classifier gained too little: %.3f -> %.3f\n%s",
+			r.RatioWithout, r.RatioWith, r.Report())
+	}
+	if r.AccuracyWith < r.AccuracyWithout-0.03 {
+		t.Fatalf("classifier hurt accuracy: %.3f -> %.3f\n%s",
+			r.AccuracyWithout, r.AccuracyWith, r.Report())
+	}
+	if !strings.Contains(r.Report(), "E6") {
+		t.Fatal("report malformed")
+	}
+}
+
+func TestRunSchemaComparison(t *testing.T) {
+	r := RunSchemaComparison(40, 5)
+	if len(r.Variants) != 4 {
+		t.Fatalf("variants = %d", len(r.Variants))
+	}
+	byName := map[string]SchemaVariant{}
+	for _, v := range r.Variants {
+		byName[v.Name] = v
+	}
+	lb, dg := byName["lower-bound"], byName["dataguide"]
+	mj := byName["majority-0.5"]
+	// Structural sanity: lower bound ⊆ majority ⊆ dataguide.
+	if !(lb.SchemaPaths <= mj.SchemaPaths && mj.SchemaPaths <= dg.SchemaPaths) {
+		t.Fatalf("path ordering violated: %+v", r.Variants)
+	}
+	// All variants must reach full post-mapping conformance.
+	for _, v := range r.Variants {
+		if v.ConformedOK < 0.999 {
+			t.Fatalf("%s: post-conformance %.2f", v.Name, v.ConformedOK)
+		}
+	}
+	// The paper's claim: the majority schema disturbs documents less than
+	// either extreme (lower bound deletes shared-but-not-universal content;
+	// DataGuide forces rare structure on everyone).
+	if mj.AvgMapCost > dg.AvgMapCost && mj.AvgMapCost > lb.AvgMapCost {
+		t.Fatalf("majority schema should not be the worst:\n%s", r.Report())
+	}
+	// Why the extremes "do not suffice": the lower bound destroys most of
+	// the structure (low retention), the DataGuide costs far more edits.
+	if !(lb.Retention < mj.Retention && mj.Retention < dg.Retention) {
+		t.Fatalf("retention ordering violated:\n%s", r.Report())
+	}
+	if dg.AvgMapCost < 2*mj.AvgMapCost {
+		t.Fatalf("DataGuide should cost much more than majority:\n%s", r.Report())
+	}
+	if !strings.Contains(r.Report(), "E5") {
+		t.Fatal("report malformed")
+	}
+}

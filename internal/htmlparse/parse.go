@@ -1,0 +1,210 @@
+package htmlparse
+
+import (
+	"webrev/internal/dom"
+)
+
+// voidElements never have content or end tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "basefont": true, "br": true, "col": true,
+	"embed": true, "frame": true, "hr": true, "img": true, "input": true,
+	"isindex": true, "link": true, "meta": true, "param": true,
+	"source": true, "track": true, "wbr": true, "spacer": true,
+}
+
+// impliedEnd maps an element to the set of open elements a new start tag of
+// that element implicitly closes. This captures the common tag-soup
+// omissions of the paper's era: <p> not closed before the next block,
+// <li> runs, table cells, and definition lists.
+var impliedEnd = map[string][]string{
+	"p":          {"p"},
+	"li":         {"li", "p"},
+	"dt":         {"dt", "dd", "p"},
+	"dd":         {"dt", "dd", "p"},
+	"tr":         {"tr", "td", "th"},
+	"td":         {"td", "th"},
+	"th":         {"td", "th"},
+	"option":     {"option"},
+	"optgroup":   {"option", "optgroup"},
+	"thead":      {"tr", "td", "th"},
+	"tbody":      {"tr", "td", "th", "thead"},
+	"tfoot":      {"tr", "td", "th", "tbody"},
+	"h1":         {"p"},
+	"h2":         {"p"},
+	"h3":         {"p"},
+	"h4":         {"p"},
+	"h5":         {"p"},
+	"h6":         {"p"},
+	"div":        {"p"},
+	"ul":         {"p"},
+	"ol":         {"p"},
+	"dl":         {"p"},
+	"table":      {"p"},
+	"pre":        {"p"},
+	"blockquote": {"p"},
+	"form":       {"p"},
+	"hr":         {"p"},
+	"address":    {"p"},
+	"center":     {"p"},
+}
+
+// closeBarrier elements stop the search for implicitly-closable elements:
+// a new <li> closes an open <li> but never one outside the enclosing list.
+var closeBarrier = map[string]bool{
+	"ul": true, "ol": true, "dl": true, "table": true, "td": true,
+	"th": true, "body": true, "html": true, "div": true, "menu": true,
+	"dir": true, "form": true, "blockquote": true,
+}
+
+// Parse parses HTML source into a dom document tree. It never fails: any
+// byte sequence yields a well-formed tree (Validate() == nil). The returned
+// document has at most one html element child containing head/body as
+// authored; documents without <html>/<body> wrappers keep their natural
+// shape under the document node.
+func Parse(src string) *dom.Node {
+	p := &parser{doc: dom.NewDocument()}
+	p.stack = []*dom.Node{p.doc}
+	z := NewTokenizer(src)
+	for {
+		tok := z.Next()
+		if tok.Type == ErrorToken {
+			break
+		}
+		p.process(tok)
+	}
+	return p.doc
+}
+
+// ParseBody parses src and returns the subtree most useful for conversion:
+// the <body> element if present, otherwise the document root.
+func ParseBody(src string) *dom.Node {
+	doc := Parse(src)
+	if b := doc.FindElement("body"); b != nil {
+		return b
+	}
+	return doc
+}
+
+type parser struct {
+	doc   *dom.Node
+	stack []*dom.Node // open element stack; stack[0] is the document
+}
+
+func (p *parser) top() *dom.Node { return p.stack[len(p.stack)-1] }
+
+func (p *parser) push(n *dom.Node) {
+	p.top().AppendChild(n)
+	p.stack = append(p.stack, n)
+}
+
+func (p *parser) popTo(i int) {
+	p.stack = p.stack[:i]
+}
+
+func (p *parser) process(tok Token) {
+	switch tok.Type {
+	case TextToken:
+		if tok.Data == "" {
+			return
+		}
+		p.top().AppendChild(dom.NewText(tok.Data))
+	case CommentToken:
+		p.top().AppendChild(dom.NewComment(tok.Data))
+	case DoctypeToken:
+		p.top().AppendChild(&dom.Node{Type: dom.DoctypeNode, Text: tok.Data})
+	case StartTagToken, SelfClosingTagToken:
+		p.startTag(tok)
+	case EndTagToken:
+		p.endTag(tok.Data)
+	}
+}
+
+func (p *parser) startTag(tok Token) {
+	name := tok.Data
+	p.applyImpliedEnds(name)
+	n := dom.NewElement(name)
+	for _, a := range tok.Attr {
+		n.SetAttr(a.Name, a.Value)
+	}
+	if tok.Type == SelfClosingTagToken || voidElements[name] {
+		p.top().AppendChild(n)
+		return
+	}
+	// A second <html>, <head> or <body> re-opens the existing one rather
+	// than nesting (common in concatenated tag soup). Subsequent content
+	// flows into the original element.
+	if name == "html" || name == "body" || name == "head" {
+		if exist := p.doc.FindElement(name); exist != nil {
+			for _, a := range tok.Attr {
+				if _, ok := exist.Attr(a.Name); !ok {
+					exist.SetAttr(a.Name, a.Value)
+				}
+			}
+			// Reset the open stack to the path doc -> ... -> exist.
+			var path []*dom.Node
+			for n := exist; n != nil; n = n.Parent {
+				path = append([]*dom.Node{n}, path...)
+			}
+			p.stack = path
+			return
+		}
+	}
+	p.push(n)
+}
+
+// applyImpliedEnds pops elements that a start tag of name implicitly closes.
+func (p *parser) applyImpliedEnds(name string) {
+	closes := impliedEnd[name]
+	if len(closes) == 0 {
+		return
+	}
+	for {
+		popped := false
+		for i := len(p.stack) - 1; i >= 1; i-- {
+			n := p.stack[i]
+			if n.Type != dom.ElementNode {
+				break
+			}
+			if contains(closes, n.Tag) {
+				p.popTo(i)
+				popped = true
+				break
+			}
+			if closeBarrier[n.Tag] {
+				break
+			}
+		}
+		if !popped {
+			return
+		}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// endTag handles </name>: pop to the nearest matching open element, or
+// ignore the tag when nothing matches (stray end tag).
+func (p *parser) endTag(name string) {
+	for i := len(p.stack) - 1; i >= 1; i-- {
+		if p.stack[i].Type == dom.ElementNode && p.stack[i].Tag == name {
+			p.popTo(i)
+			return
+		}
+		// Do not let a stray end tag close through a table cell or body.
+		if name != "table" && name != "body" && name != "html" && closeBarrier[p.stack[i].Tag] && p.stack[i].Tag != name {
+			// Keep searching only if the barrier itself is not the target;
+			// conservative recovery: stop at the barrier.
+			if p.stack[i].Tag == "body" || p.stack[i].Tag == "html" {
+				return
+			}
+		}
+	}
+	// No matching open element: ignore.
+}

@@ -1,0 +1,330 @@
+// Package htmlparse implements a tag-soup tolerant HTML tokenizer and tree
+// builder producing dom trees. The paper assumes HTML documents can be
+// treated as ordered trees "by adopting the Document Object Model" (§2.3);
+// real-world 1990s-era HTML is rarely well formed, so this parser implements
+// the recovery behaviours that matter for the corpus: void elements, raw
+// text elements, implied end tags, and unmatched end-tag tolerance.
+package htmlparse
+
+import (
+	"strings"
+
+	"webrev/internal/entity"
+)
+
+// TokenType identifies a lexical token.
+type TokenType int
+
+// Token types produced by the Tokenizer.
+const (
+	ErrorToken TokenType = iota // end of input
+	TextToken
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	Type TokenType
+	Data string // tag name (lowercased) or text/comment content
+	Attr []Attribute
+}
+
+// Attribute is a parsed attribute on a start tag.
+type Attribute struct {
+	Name  string
+	Value string
+}
+
+// Tokenizer scans HTML text into tokens. Create one with NewTokenizer and
+// call Next until it returns a Token with Type ErrorToken.
+type Tokenizer struct {
+	src     string
+	pos     int
+	rawTag  string // non-empty while inside <script>/<style>/<textarea>/<title>
+	pending *Token // queued token (end tag after raw text)
+}
+
+// NewTokenizer returns a Tokenizer reading from src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// rawTextTags are elements whose content is scanned verbatim until the
+// matching end tag.
+var rawTextTags = map[string]bool{
+	"script": true, "style": true, "textarea": true, "title": true,
+	"xmp": true,
+}
+
+// Next returns the next token. After the input is exhausted it returns
+// ErrorToken forever.
+func (z *Tokenizer) Next() Token {
+	if z.pending != nil {
+		t := *z.pending
+		z.pending = nil
+		return t
+	}
+	if z.pos >= len(z.src) {
+		return Token{Type: ErrorToken}
+	}
+	if z.rawTag != "" {
+		return z.nextRawText()
+	}
+	if z.src[z.pos] == '<' {
+		return z.nextTag()
+	}
+	return z.nextText()
+}
+
+func (z *Tokenizer) nextText() Token {
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return Token{Type: TextToken, Data: entity.Decode(z.src[start:z.pos])}
+}
+
+// nextRawText scans until the closing tag of the current raw-text element.
+func (z *Tokenizer) nextRawText() Token {
+	closer := "</" + z.rawTag
+	rest := z.src[z.pos:]
+	idx := indexFold(rest, closer)
+	tag := z.rawTag
+	if idx < 0 {
+		// Unterminated raw element: rest of input is its text.
+		z.pos = len(z.src)
+		z.rawTag = ""
+		if rest == "" {
+			return Token{Type: ErrorToken}
+		}
+		return Token{Type: TextToken, Data: rest}
+	}
+	text := rest[:idx]
+	// Consume "</tag" plus everything up to and including the next '>'.
+	end := z.pos + idx + len(closer)
+	for end < len(z.src) && z.src[end] != '>' {
+		end++
+	}
+	if end < len(z.src) {
+		end++
+	}
+	z.pos = end
+	z.rawTag = ""
+	endTok := Token{Type: EndTagToken, Data: tag}
+	if text == "" {
+		return endTok
+	}
+	z.pending = &endTok
+	return Token{Type: TextToken, Data: text}
+}
+
+// indexFold returns the index of the first ASCII-case-insensitive occurrence
+// of sub in s, or -1.
+func indexFold(s, sub string) int {
+	n := len(sub)
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if strings.EqualFold(s[i:i+n], sub) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (z *Tokenizer) nextTag() Token {
+	// z.src[z.pos] == '<'
+	if z.pos+1 >= len(z.src) {
+		z.pos = len(z.src)
+		return Token{Type: TextToken, Data: "<"}
+	}
+	c := z.src[z.pos+1]
+	switch {
+	case c == '!':
+		return z.nextMarkupDeclaration()
+	case c == '?':
+		// Processing instruction / bogus comment: skip to '>'.
+		end := strings.IndexByte(z.src[z.pos:], '>')
+		if end < 0 {
+			z.pos = len(z.src)
+			return Token{Type: ErrorToken}
+		}
+		tok := Token{Type: CommentToken, Data: z.src[z.pos+2 : z.pos+end]}
+		z.pos += end + 1
+		return tok
+	case c == '/':
+		return z.nextEndTag()
+	case isLetter(c):
+		return z.nextStartTag()
+	default:
+		// A lone '<' followed by a non-letter is text.
+		z.pos++
+		t := z.nextText()
+		t.Data = "<" + t.Data
+		return t
+	}
+}
+
+func (z *Tokenizer) nextMarkupDeclaration() Token {
+	s := z.src[z.pos:]
+	if strings.HasPrefix(s, "<!--") {
+		end := strings.Index(s[4:], "-->")
+		if end < 0 {
+			z.pos = len(z.src)
+			return Token{Type: CommentToken, Data: s[4:]}
+		}
+		tok := Token{Type: CommentToken, Data: s[4 : 4+end]}
+		z.pos += 4 + end + 3
+		return tok
+	}
+	if len(s) >= 9 && strings.EqualFold(s[:9], "<!doctype") {
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			z.pos = len(z.src)
+			return Token{Type: DoctypeToken, Data: strings.TrimSpace(s[9:])}
+		}
+		tok := Token{Type: DoctypeToken, Data: strings.TrimSpace(s[9:end])}
+		z.pos += end + 1
+		return tok
+	}
+	// Bogus markup declaration: treat as comment up to '>'.
+	end := strings.IndexByte(s, '>')
+	if end < 0 {
+		z.pos = len(z.src)
+		return Token{Type: CommentToken, Data: s[2:]}
+	}
+	tok := Token{Type: CommentToken, Data: s[2:end]}
+	z.pos += end + 1
+	return tok
+}
+
+func (z *Tokenizer) nextEndTag() Token {
+	// z.src[z.pos:] begins with "</".
+	i := z.pos + 2
+	start := i
+	for i < len(z.src) && isNameByte(z.src[i]) {
+		i++
+	}
+	name := strings.ToLower(z.src[start:i])
+	// Skip to '>'.
+	for i < len(z.src) && z.src[i] != '>' {
+		i++
+	}
+	if i < len(z.src) {
+		i++
+	}
+	z.pos = i
+	if name == "" {
+		// "</>" or "</ >": drop silently as a comment-like artifact.
+		return Token{Type: CommentToken, Data: ""}
+	}
+	return Token{Type: EndTagToken, Data: name}
+}
+
+func (z *Tokenizer) nextStartTag() Token {
+	i := z.pos + 1
+	start := i
+	for i < len(z.src) && isNameByte(z.src[i]) {
+		i++
+	}
+	name := strings.ToLower(z.src[start:i])
+	tok := Token{Type: StartTagToken, Data: name}
+	// Attributes.
+	for {
+		for i < len(z.src) && isSpace(z.src[i]) {
+			i++
+		}
+		if i >= len(z.src) {
+			break
+		}
+		if z.src[i] == '>' {
+			i++
+			break
+		}
+		if z.src[i] == '/' {
+			// Possible self-closing.
+			j := i + 1
+			for j < len(z.src) && isSpace(z.src[j]) {
+				j++
+			}
+			if j < len(z.src) && z.src[j] == '>' {
+				tok.Type = SelfClosingTagToken
+				i = j + 1
+				break
+			}
+			i++
+			continue
+		}
+		var attr Attribute
+		attr, i = parseAttr(z.src, i)
+		if attr.Name != "" {
+			tok.Attr = append(tok.Attr, attr)
+		}
+	}
+	z.pos = i
+	if tok.Type == StartTagToken && rawTextTags[name] {
+		z.rawTag = name
+	}
+	return tok
+}
+
+// parseAttr parses one attribute starting at s[i] and returns it with the
+// new scan position.
+func parseAttr(s string, i int) (Attribute, int) {
+	start := i
+	for i < len(s) && !isSpace(s[i]) && s[i] != '=' && s[i] != '>' && s[i] != '/' {
+		i++
+	}
+	name := strings.ToLower(s[start:i])
+	for i < len(s) && isSpace(s[i]) {
+		i++
+	}
+	if i >= len(s) || s[i] != '=' {
+		return Attribute{Name: name}, i
+	}
+	i++ // consume '='
+	for i < len(s) && isSpace(s[i]) {
+		i++
+	}
+	if i >= len(s) {
+		return Attribute{Name: name}, i
+	}
+	var val string
+	switch s[i] {
+	case '"', '\'':
+		q := s[i]
+		i++
+		vs := i
+		for i < len(s) && s[i] != q {
+			i++
+		}
+		val = s[vs:i]
+		if i < len(s) {
+			i++
+		}
+	default:
+		vs := i
+		for i < len(s) && !isSpace(s[i]) && s[i] != '>' {
+			i++
+		}
+		val = s[vs:i]
+	}
+	return Attribute{Name: name, Value: entity.Decode(val)}, i
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameByte(c byte) bool {
+	return isLetter(c) || c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}

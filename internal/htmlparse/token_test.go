@@ -1,0 +1,193 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func collect(src string) []Token {
+	z := NewTokenizer(src)
+	var out []Token
+	for {
+		t := z.Next()
+		if t.Type == ErrorToken {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func TestTokenizeSimple(t *testing.T) {
+	toks := collect(`<p class="x">Hello</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Data != "p" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if len(toks[0].Attr) != 1 || toks[0].Attr[0] != (Attribute{"class", "x"}) {
+		t.Fatalf("attrs = %+v", toks[0].Attr)
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "Hello" {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "p" {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+}
+
+func TestTokenizeCaseAndWhitespace(t *testing.T) {
+	toks := collect("<DIV  ID = main >x</DIV >")
+	if toks[0].Data != "div" {
+		t.Fatalf("tag not lowercased: %+v", toks[0])
+	}
+	if len(toks[0].Attr) != 1 || toks[0].Attr[0].Name != "id" || toks[0].Attr[0].Value != "main" {
+		t.Fatalf("attrs = %+v", toks[0].Attr)
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "div" {
+		t.Fatalf("end tag = %+v", toks[2])
+	}
+}
+
+func TestTokenizeAttrVariants(t *testing.T) {
+	toks := collect(`<input type=text checked value='a b' data-x="1 &amp; 2">`)
+	attrs := toks[0].Attr
+	want := []Attribute{
+		{"type", "text"},
+		{"checked", ""},
+		{"value", "a b"},
+		{"data-x", "1 & 2"},
+	}
+	if len(attrs) != len(want) {
+		t.Fatalf("attrs = %+v", attrs)
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Errorf("attr[%d] = %+v, want %+v", i, attrs[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeSelfClosing(t *testing.T) {
+	toks := collect(`<br/><hr /><img src="a.gif"/>`)
+	for i, tok := range toks {
+		if tok.Type != SelfClosingTagToken {
+			t.Errorf("tok[%d] = %+v, want self-closing", i, tok)
+		}
+	}
+}
+
+func TestTokenizeCommentDoctype(t *testing.T) {
+	toks := collect(`<!DOCTYPE html PUBLIC "-//W3C//DTD HTML 4.0//EN"><!-- note --><p>x`)
+	if toks[0].Type != DoctypeToken || !strings.HasPrefix(toks[0].Data, "html") {
+		t.Fatalf("doctype = %+v", toks[0])
+	}
+	if toks[1].Type != CommentToken || toks[1].Data != " note " {
+		t.Fatalf("comment = %+v", toks[1])
+	}
+}
+
+func TestTokenizeEntitiesInText(t *testing.T) {
+	toks := collect("B.S. &amp; M.S. &mdash; Davis")
+	if toks[0].Data != "B.S. & M.S. — Davis" {
+		t.Fatalf("text = %q", toks[0].Data)
+	}
+}
+
+func TestTokenizeRawText(t *testing.T) {
+	toks := collect(`<script>if (a < b) { x("<p>"); }</script><p>after`)
+	if toks[0].Type != StartTagToken || toks[0].Data != "script" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, `x("<p>")`) {
+		t.Fatalf("raw text = %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "script" {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+	if toks[3].Type != StartTagToken || toks[3].Data != "p" {
+		t.Fatalf("tok3 = %+v", toks[3])
+	}
+}
+
+func TestTokenizeRawTextCaseInsensitiveClose(t *testing.T) {
+	toks := collect(`<STYLE>p { color: red }</Style>done`)
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, "color") {
+		t.Fatalf("toks = %+v", toks)
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "style" {
+		t.Fatalf("toks[2] = %+v", toks[2])
+	}
+}
+
+func TestTokenizeUnterminatedRawText(t *testing.T) {
+	toks := collect(`<script>var x = 1;`)
+	if len(toks) != 2 || toks[1].Type != TextToken {
+		t.Fatalf("toks = %+v", toks)
+	}
+}
+
+func TestTokenizeEmptyRawText(t *testing.T) {
+	toks := collect(`<title></title>x`)
+	if toks[1].Type != EndTagToken || toks[1].Data != "title" {
+		t.Fatalf("toks = %+v", toks)
+	}
+}
+
+func TestTokenizeLoneAngle(t *testing.T) {
+	toks := collect("2 < 3 and 5 > 4")
+	var text strings.Builder
+	for _, tok := range toks {
+		if tok.Type == TextToken {
+			text.WriteString(tok.Data)
+		}
+	}
+	if got := text.String(); got != "2 < 3 and 5 > 4" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestTokenizeTrailingLt(t *testing.T) {
+	toks := collect("abc<")
+	if len(toks) != 2 || toks[1].Data != "<" {
+		t.Fatalf("toks = %+v", toks)
+	}
+}
+
+func TestTokenizeBogus(t *testing.T) {
+	cases := []string{"</>", "<?php echo ?>", "<![CDATA[x]]>", "<!-- unterminated", "<!doctype html"}
+	for _, c := range cases {
+		toks := collect(c) // must not panic or loop
+		for _, tok := range toks {
+			if tok.Type == StartTagToken {
+				t.Errorf("%q produced start tag %+v", c, tok)
+			}
+		}
+	}
+}
+
+func TestTokenizeStrayEndTagWithAttrs(t *testing.T) {
+	toks := collect(`</p class="x">rest`)
+	if toks[0].Type != EndTagToken || toks[0].Data != "p" {
+		t.Fatalf("toks = %+v", toks)
+	}
+	if toks[1].Data != "rest" {
+		t.Fatalf("toks = %+v", toks)
+	}
+}
+
+func TestPropertyTokenizerTerminates(t *testing.T) {
+	f := func(s string) bool {
+		z := NewTokenizer(s)
+		for i := 0; i < len(s)*2+64; i++ {
+			if z.Next().Type == ErrorToken {
+				return true
+			}
+		}
+		return false // did not terminate in a linear number of steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

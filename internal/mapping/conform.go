@@ -1,0 +1,37 @@
+package mapping
+
+import (
+	"webrev/internal/dom"
+	"webrev/internal/dtd"
+)
+
+// EditStats counts the operations Conform performed to make a document
+// match the DTD. Cost() is their sum — comparable across schema variants,
+// which is how the majority-schema-vs-DataGuide ablation (DESIGN.md E5)
+// quantifies the paper's claim that "Data Guides or lower bound schemas do
+// not suffice" for repository integration.
+type EditStats struct {
+	Renamed   int // root renamed to the DTD root
+	Inserted  int // placeholder elements inserted for missing required children
+	Deleted   int // undeclared elements removed (val folded into parent)
+	Merged    int // surplus occurrences merged into the first occurrence
+	Reordered int // children moved to satisfy the content-model order
+	Unwrapped int // undeclared containers spliced up to expose their children
+}
+
+// Cost returns the total number of edit operations.
+func (s EditStats) Cost() int {
+	return s.Renamed + s.Inserted + s.Deleted + s.Merged + s.Reordered + s.Unwrapped
+}
+
+// Conform transforms a copy of doc so that it validates against d, and
+// reports the edits required. The input document is not modified.
+//
+// The transformation preserves information: deleted elements fold their val
+// and text into the parent's val, and merged occurrences concatenate vals
+// and adopt children. Use ConformScript to additionally obtain the ordered
+// edit operations.
+func Conform(doc *dom.Node, d *dtd.DTD) (*dom.Node, EditStats) {
+	out, script := ConformScript(doc, d)
+	return out, script.Stats()
+}

@@ -1,0 +1,169 @@
+// Package mapping implements the Document Mapping Component referenced by
+// the paper (§5, refs [11][13]): it "converts non-conforming XML documents
+// using a tree-edit distance algorithm so that they eventually conform to
+// the derived DTD and can easily be integrated into an XML document
+// repository". The package provides the Zhang–Shasha ordered tree edit
+// distance and a DTD-directed conformance transformation.
+package mapping
+
+import (
+	"webrev/internal/dom"
+)
+
+// Costs parameterizes the edit distance. The zero value is invalid; use
+// UnitCosts.
+type Costs struct {
+	Insert func(n *dom.Node) float64
+	Delete func(n *dom.Node) float64
+	Rename func(a, b *dom.Node) float64
+}
+
+// UnitCosts returns the standard unit-cost model: 1 per insert/delete, 1 per
+// rename of differing labels, 0 for matching labels.
+func UnitCosts() Costs {
+	return Costs{
+		Insert: func(*dom.Node) float64 { return 1 },
+		Delete: func(*dom.Node) float64 { return 1 },
+		Rename: func(a, b *dom.Node) float64 {
+			if label(a) == label(b) {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+func label(n *dom.Node) string {
+	if n.Type == dom.TextNode {
+		return "#text:" + n.Text
+	}
+	return n.Tag
+}
+
+// TreeDistance computes the Zhang–Shasha ordered tree edit distance between
+// the trees rooted at t1 and t2 under the given cost model. Element and
+// text nodes participate; comments and doctypes are ignored.
+func TreeDistance(t1, t2 *dom.Node, costs Costs) float64 {
+	a := newOrdered(t1)
+	b := newOrdered(t2)
+	return zhangShasha(a, b, costs)
+}
+
+// ordered is the postorder representation Zhang–Shasha works on.
+type ordered struct {
+	nodes []*dom.Node // postorder
+	lmld  []int       // leftmost leaf descendant index per node
+	keyrs []int       // keyroots
+}
+
+func newOrdered(root *dom.Node) *ordered {
+	o := &ordered{}
+	var walk func(n *dom.Node) int // returns index of n's leftmost leaf
+	walk = func(n *dom.Node) int {
+		lm := -1
+		for _, c := range n.Children {
+			if c.Type != dom.ElementNode && c.Type != dom.TextNode {
+				continue
+			}
+			l := walk(c)
+			if lm == -1 {
+				lm = l
+			}
+		}
+		o.nodes = append(o.nodes, n)
+		idx := len(o.nodes) - 1
+		if lm == -1 {
+			lm = idx
+		}
+		o.lmld = append(o.lmld, lm)
+		return lm
+	}
+	walk(root)
+	// Keyroots: nodes with no left sibling on the path (distinct lmld, take
+	// the highest postorder index per lmld value).
+	last := make(map[int]int)
+	for i, l := range o.lmld {
+		last[l] = i
+	}
+	for _, i := range last {
+		o.keyrs = append(o.keyrs, i)
+	}
+	// Sort keyroots ascending.
+	for i := 1; i < len(o.keyrs); i++ {
+		for j := i; j > 0 && o.keyrs[j-1] > o.keyrs[j]; j-- {
+			o.keyrs[j-1], o.keyrs[j] = o.keyrs[j], o.keyrs[j-1]
+		}
+	}
+	return o
+}
+
+func zhangShasha(a, b *ordered, costs Costs) float64 {
+	n, m := len(a.nodes), len(b.nodes)
+	if n == 0 || m == 0 {
+		var d float64
+		for _, x := range a.nodes {
+			d += costs.Delete(x)
+		}
+		for _, x := range b.nodes {
+			d += costs.Insert(x)
+		}
+		return d
+	}
+	td := make([][]float64, n)
+	for i := range td {
+		td[i] = make([]float64, m)
+	}
+	fd := make([][]float64, n+1)
+	for i := range fd {
+		fd[i] = make([]float64, m+1)
+	}
+	for _, i := range a.keyrs {
+		for _, j := range b.keyrs {
+			treedist(a, b, i, j, td, fd, costs)
+		}
+	}
+	return td[n-1][m-1]
+}
+
+// treedist fills td[i][j] for the subtree pair rooted at postorder i of a
+// and j of b (the classic forest-distance recurrence).
+func treedist(a, b *ordered, i, j int, td, fd [][]float64, costs Costs) {
+	li, lj := a.lmld[i], b.lmld[j]
+	fd[li][lj] = 0
+	for di := li; di <= i; di++ {
+		fd[di+1][lj] = fd[di][lj] + costs.Delete(a.nodes[di])
+	}
+	for dj := lj; dj <= j; dj++ {
+		fd[li][dj+1] = fd[li][dj] + costs.Insert(b.nodes[dj])
+	}
+	for di := li; di <= i; di++ {
+		for dj := lj; dj <= j; dj++ {
+			if a.lmld[di] == li && b.lmld[dj] == lj {
+				m := min3(
+					fd[di][dj+1]+costs.Delete(a.nodes[di]),
+					fd[di+1][dj]+costs.Insert(b.nodes[dj]),
+					fd[di][dj]+costs.Rename(a.nodes[di], b.nodes[dj]),
+				)
+				fd[di+1][dj+1] = m
+				td[di][dj] = m
+			} else {
+				m := min3(
+					fd[di][dj+1]+costs.Delete(a.nodes[di]),
+					fd[di+1][dj]+costs.Insert(b.nodes[dj]),
+					fd[a.lmld[di]][b.lmld[dj]]+td[di][dj],
+				)
+				fd[di+1][dj+1] = m
+			}
+		}
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,190 @@
+// Package metrics implements the accuracy measure of the paper's §4.1: the
+// number of wrong parent-child and sibling relationships in an extracted
+// tree relative to the correct tree, where "we may move a node and its
+// siblings together to make up for one parent-child relationship that has
+// been incorrectly identified — this is counted as one logical error".
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"webrev/internal/dom"
+)
+
+// Result summarizes the comparison of one extracted document against its
+// ground truth.
+type Result struct {
+	// Errors is the number of logical errors (block moves).
+	Errors int
+	// MisplacedNodes is the number of concept nodes participating in those
+	// moves (several adjacent siblings can share one error).
+	MisplacedNodes int
+	// ConceptNodes is the number of concept nodes in the extracted tree.
+	ConceptNodes int
+	// TruthNodes is the number of concept nodes in the ground truth.
+	TruthNodes int
+}
+
+// ErrorRate returns logical errors as a fraction of extracted concept nodes
+// — the per-document "Error % (Num. of Errors / Num. of keyword nodes)" of
+// Figure 4 (the paper's 3.9 avg errors over 53.7 avg concept nodes give its
+// 9.2% average).
+func (r Result) ErrorRate() float64 {
+	if r.ConceptNodes == 0 {
+		if r.TruthNodes == 0 {
+			return 0
+		}
+		return 1
+	}
+	rate := float64(r.Errors) / float64(r.ConceptNodes)
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// Accuracy returns 1 - ErrorRate.
+func (r Result) Accuracy() float64 { return 1 - r.ErrorRate() }
+
+// Compare measures the extracted tree against the truth tree. Both are
+// concept trees rooted at the document element; only element nodes
+// participate. A node is correctly placed when a ground-truth node with the
+// same label exists under the same label path and has not already been
+// claimed by an earlier extracted node (document order). Maximal runs of
+// adjacent misplaced siblings count as one logical error; the subtree of a
+// misplaced node moves with it and is not recounted.
+func Compare(got, truth *dom.Node) Result {
+	var res Result
+	res.TruthNodes = countElements(truth)
+
+	// Slots: (parent label path, label) -> available count in truth.
+	slots := make(map[string]int)
+	fillSlots(truth, "", slots)
+
+	res.ConceptNodes = countElements(got)
+	matchNode(got, "", slots, &res)
+	return res
+}
+
+func countElements(n *dom.Node) int {
+	c := 0
+	n.Walk(func(m *dom.Node) bool {
+		if m.Type == dom.ElementNode {
+			c++
+		}
+		return true
+	})
+	if n.Type == dom.ElementNode {
+		return c
+	}
+	return c
+}
+
+func fillSlots(n *dom.Node, prefix string, slots map[string]int) {
+	if n.Type != dom.ElementNode {
+		return
+	}
+	key := prefix + "/" + n.Tag
+	slots[key]++
+	for _, c := range n.Children {
+		fillSlots(c, key, slots)
+	}
+}
+
+// matchNode walks the extracted tree top-down claiming truth slots. For
+// each element's children it identifies misplaced ones, groups adjacent
+// misplaced siblings into single errors, and recurses only into correctly
+// placed children.
+func matchNode(n *dom.Node, prefix string, slots map[string]int, res *Result) {
+	if n.Type != dom.ElementNode && n.Type != dom.DocumentNode {
+		return
+	}
+	key := prefix
+	if n.Type == dom.ElementNode {
+		key = prefix + "/" + n.Tag
+	}
+	inRun := false
+	for _, c := range n.Children {
+		if c.Type != dom.ElementNode {
+			continue
+		}
+		ck := key + "/" + c.Tag
+		if slots[ck] > 0 {
+			slots[ck]--
+			inRun = false
+			matchNode(c, key, slots, res)
+			continue
+		}
+		// Misplaced: the whole subtree moves; count the nodes but charge
+		// only one error per adjacent run.
+		res.MisplacedNodes += countElements(c)
+		if !inRun {
+			res.Errors++
+			inRun = true
+		}
+	}
+}
+
+// Aggregate summarizes results across a corpus.
+type Aggregate struct {
+	Docs            int
+	AvgErrors       float64 // paper: 3.9
+	AvgConceptNodes float64 // paper: 53.7
+	AvgErrorRate    float64 // paper: 9.2%
+	Results         []Result
+}
+
+// Accuracy returns the corpus accuracy 1 - AvgErrorRate (paper: 90.8%).
+func (a Aggregate) Accuracy() float64 { return 1 - a.AvgErrorRate }
+
+// Summarize aggregates per-document results.
+func Summarize(results []Result) Aggregate {
+	a := Aggregate{Docs: len(results), Results: results}
+	if len(results) == 0 {
+		return a
+	}
+	var errs, nodes, rate float64
+	for _, r := range results {
+		errs += float64(r.Errors)
+		nodes += float64(r.ConceptNodes)
+		rate += r.ErrorRate()
+	}
+	n := float64(len(results))
+	a.AvgErrors = errs / n
+	a.AvgConceptNodes = nodes / n
+	a.AvgErrorRate = rate / n
+	return a
+}
+
+// Histogram buckets per-document error rates for Figure 4 (0-4%, 4-8%, ...).
+type Histogram struct {
+	Width   float64 // bucket width as a fraction (0.04 for 4%)
+	Buckets []int
+}
+
+// HistogramOf buckets the error rates of results into nBuckets buckets of
+// the given width; rates beyond the last bucket land in it.
+func HistogramOf(results []Result, width float64, nBuckets int) Histogram {
+	h := Histogram{Width: width, Buckets: make([]int, nBuckets)}
+	for _, r := range results {
+		b := int(r.ErrorRate() / width)
+		if b >= nBuckets {
+			b = nBuckets - 1
+		}
+		h.Buckets[b]++
+	}
+	return h
+}
+
+// String renders the histogram as rows "lo-hi%: count" with a bar, matching
+// the shape of the paper's Figure 4.
+func (h Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.Buckets {
+		lo := h.Width * float64(i) * 100
+		hi := h.Width * float64(i+1) * 100
+		fmt.Fprintf(&b, "%5.1f-%5.1f%% | %-3d %s\n", lo, hi, c, strings.Repeat("#", c))
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"webrev/internal/dom"
+)
+
+func el(tag string, children ...*dom.Node) *dom.Node {
+	return dom.Elem(tag, nil, children...)
+}
+
+func TestCompareIdentical(t *testing.T) {
+	truth := el("resume",
+		el("education", el("institution"), el("degree")),
+		el("skills"),
+	)
+	r := Compare(truth.Clone(), truth)
+	if r.Errors != 0 || r.MisplacedNodes != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.ConceptNodes != 5 || r.TruthNodes != 5 {
+		t.Fatalf("counts = %+v", r)
+	}
+	if r.ErrorRate() != 0 || r.Accuracy() != 1 {
+		t.Fatalf("rate = %v", r.ErrorRate())
+	}
+}
+
+func TestCompareSingleMisplacement(t *testing.T) {
+	truth := el("resume",
+		el("education", el("institution")),
+		el("experience", el("company")),
+	)
+	// company extracted under education instead of experience.
+	got := el("resume",
+		el("education", el("institution"), el("company")),
+		el("experience"),
+	)
+	r := Compare(got, truth)
+	if r.Errors != 1 {
+		t.Fatalf("errors = %d", r.Errors)
+	}
+	if r.MisplacedNodes != 1 {
+		t.Fatalf("misplaced = %d", r.MisplacedNodes)
+	}
+}
+
+func TestCompareSiblingRunCountsOnce(t *testing.T) {
+	truth := el("resume",
+		el("education", el("institution"), el("degree"), el("date")),
+	)
+	// All three children flattened to the root: one block move.
+	got := el("resume",
+		el("education"),
+		el("institution"), el("degree"), el("date"),
+	)
+	r := Compare(got, truth)
+	if r.Errors != 1 {
+		t.Fatalf("errors = %d (block move should count once)", r.Errors)
+	}
+	if r.MisplacedNodes != 3 {
+		t.Fatalf("misplaced = %d", r.MisplacedNodes)
+	}
+}
+
+func TestCompareTwoSeparatedRuns(t *testing.T) {
+	truth := el("resume",
+		el("education", el("institution"), el("degree")),
+		el("skills"),
+	)
+	// institution and degree both at root but separated by a correct node.
+	got := el("resume",
+		el("institution"),
+		el("education"),
+		el("degree"),
+		el("skills"),
+	)
+	r := Compare(got, truth)
+	if r.Errors != 2 {
+		t.Fatalf("errors = %d, want 2 separate runs", r.Errors)
+	}
+}
+
+func TestCompareSubtreeMovesWithParent(t *testing.T) {
+	truth := el("resume",
+		el("education", el("date", el("institution"), el("degree"))),
+	)
+	// The whole date entry landed at the root: one error, three nodes.
+	got := el("resume",
+		el("education"),
+		el("date", el("institution"), el("degree")),
+	)
+	r := Compare(got, truth)
+	if r.Errors != 1 || r.MisplacedNodes != 3 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestCompareSurplusNodes(t *testing.T) {
+	truth := el("resume", el("education"))
+	got := el("resume", el("education"), el("education"))
+	r := Compare(got, truth)
+	if r.Errors != 1 {
+		t.Fatalf("surplus occurrence should be an error: %+v", r)
+	}
+}
+
+func TestCompareEmptyTrees(t *testing.T) {
+	r := Compare(el("resume"), el("resume"))
+	if r.Errors != 0 || r.ErrorRate() != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// Empty extraction against non-empty truth: total failure.
+	r2 := Compare(el("resume"), el("resume", el("education")))
+	if r2.ErrorRate() != 0 {
+		// root matched; no extracted children -> no misplacements, but
+		// nothing found either. ConceptNodes=1 so rate 0. Document the
+		// behaviour: omissions are not misplacements.
+		t.Fatalf("rate = %v", r2.ErrorRate())
+	}
+}
+
+func TestErrorRateClamped(t *testing.T) {
+	r := Result{Errors: 10, ConceptNodes: 5}
+	if r.ErrorRate() != 1 {
+		t.Fatalf("rate should clamp at 1, got %v", r.ErrorRate())
+	}
+	zero := Result{TruthNodes: 5}
+	if zero.ErrorRate() != 1 {
+		t.Fatalf("empty extraction vs non-empty truth should rate 1, got %v", zero.ErrorRate())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rs := []Result{
+		{Errors: 2, MisplacedNodes: 4, ConceptNodes: 40, TruthNodes: 40},
+		{Errors: 0, MisplacedNodes: 0, ConceptNodes: 60, TruthNodes: 60},
+	}
+	a := Summarize(rs)
+	if a.Docs != 2 || a.AvgErrors != 1 || a.AvgConceptNodes != 50 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	want := (2.0/40.0 + 0) / 2
+	if math.Abs(a.AvgErrorRate-want) > 1e-9 {
+		t.Fatalf("avg rate = %v, want %v", a.AvgErrorRate, want)
+	}
+	if math.Abs(a.Accuracy()-(1-want)) > 1e-9 {
+		t.Fatalf("accuracy = %v", a.Accuracy())
+	}
+	if empty := Summarize(nil); empty.Docs != 0 || empty.AvgErrorRate != 0 {
+		t.Fatalf("empty aggregate = %+v", empty)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	rs := []Result{
+		{Errors: 0, ConceptNodes: 100},  // 0%
+		{Errors: 5, ConceptNodes: 100},  // 5%
+		{Errors: 6, ConceptNodes: 100},  // 6%
+		{Errors: 50, ConceptNodes: 100}, // 50% -> last bucket
+	}
+	h := HistogramOf(rs, 0.04, 6)
+	if h.Buckets[0] != 1 || h.Buckets[1] != 2 || h.Buckets[5] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	out := h.String()
+	if !strings.Contains(out, "0.0-  4.0%") || !strings.Contains(out, "##") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	truth := el("resume")
+	for i := 0; i < 10; i++ {
+		truth.AppendChild(el("education", el("institution"), el("degree"), el("date")))
+	}
+	got := truth.Clone()
+	got.AppendChild(el("skills"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compare(got, truth)
+	}
+}

@@ -1,0 +1,121 @@
+// Package pathindex implements the index structure the paper sketches in
+// §3.3: "for each path and node, the index contains pointers to the
+// positions in XML documents that contain that node. Such an index structure
+// can easily be built while the set paths is computed for each XML
+// document." The index serves both the ordering rule (average child
+// positions without re-walking every tree) and the query engine in
+// internal/query.
+package pathindex
+
+import (
+	"sort"
+
+	"webrev/internal/dom"
+	"webrev/internal/schema"
+)
+
+// Ref points to one occurrence of a label path: the node itself plus its
+// document and child position.
+type Ref struct {
+	Doc  int // index into the corpus the index was built from
+	Node *dom.Node
+	Pos  int // child position among the parent's element children
+}
+
+// Index maps label paths to their occurrences across a corpus.
+type Index struct {
+	docs    int
+	byPath  map[string][]Ref
+	byLabel map[string]map[string]bool // last label -> set of full paths
+}
+
+// Build indexes the given document trees. Only element nodes participate.
+func Build(docs []*dom.Node) *Index {
+	ix := &Index{
+		docs:    len(docs),
+		byPath:  make(map[string][]Ref),
+		byLabel: make(map[string]map[string]bool),
+	}
+	for i, d := range docs {
+		ix.addTree(i, d, "", 0)
+	}
+	return ix
+}
+
+func (ix *Index) addTree(doc int, n *dom.Node, prefix string, pos int) {
+	if n.Type != dom.ElementNode {
+		return
+	}
+	path := n.Tag
+	if prefix != "" {
+		path = prefix + schema.Sep + n.Tag
+	}
+	ix.byPath[path] = append(ix.byPath[path], Ref{Doc: doc, Node: n, Pos: pos})
+	set := ix.byLabel[n.Tag]
+	if set == nil {
+		set = make(map[string]bool)
+		ix.byLabel[n.Tag] = set
+	}
+	set[path] = true
+	i := 0
+	for _, c := range n.Children {
+		if c.Type != dom.ElementNode {
+			continue
+		}
+		ix.addTree(doc, c, path, i)
+		i++
+	}
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return ix.docs }
+
+// Paths returns every indexed label path, sorted.
+func (ix *Index) Paths() []string {
+	out := make([]string, 0, len(ix.byPath))
+	for p := range ix.byPath {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns all occurrences of the exact label path, in indexing order
+// (document, then document order).
+func (ix *Index) Lookup(path string) []Ref { return ix.byPath[path] }
+
+// PathsEndingIn returns the indexed paths whose final label is label,
+// sorted — the expansion step for descendant ("//") queries.
+func (ix *Index) PathsEndingIn(label string) []string {
+	set := ix.byLabel[label]
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocFrequency returns the number of distinct documents containing the
+// path — the support numerator of §3.2 served from the index.
+func (ix *Index) DocFrequency(path string) int {
+	seen := make(map[int]bool)
+	for _, r := range ix.byPath[path] {
+		seen[r.Doc] = true
+	}
+	return len(seen)
+}
+
+// AvgPosition returns the mean child position of the path's occurrences —
+// the ordering rule's statistic (§3.3) computed from index pointers.
+func (ix *Index) AvgPosition(path string) (float64, bool) {
+	refs := ix.byPath[path]
+	if len(refs) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, r := range refs {
+		sum += float64(r.Pos)
+	}
+	return sum / float64(len(refs)), true
+}

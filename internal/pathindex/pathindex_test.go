@@ -1,0 +1,123 @@
+package pathindex
+
+import (
+	"reflect"
+	"testing"
+
+	"webrev/internal/dom"
+)
+
+func el(tag string, children ...*dom.Node) *dom.Node {
+	return dom.Elem(tag, nil, children...)
+}
+
+func docs() []*dom.Node {
+	return []*dom.Node{
+		el("resume",
+			el("contact"),
+			el("education", el("degree"), el("date")),
+		),
+		el("resume",
+			el("education", el("degree")),
+			el("skills"),
+		),
+	}
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	ix := Build(docs())
+	if ix.Docs() != 2 {
+		t.Fatalf("docs = %d", ix.Docs())
+	}
+	refs := ix.Lookup("resume/education/degree")
+	if len(refs) != 2 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	if refs[0].Doc != 0 || refs[1].Doc != 1 {
+		t.Fatalf("doc order: %+v", refs)
+	}
+	if refs[0].Node.Tag != "degree" {
+		t.Fatalf("wrong node: %s", refs[0].Node.Label())
+	}
+	if len(ix.Lookup("resume/nothere")) != 0 {
+		t.Fatal("phantom path")
+	}
+}
+
+func TestPaths(t *testing.T) {
+	ix := Build(docs())
+	want := []string{
+		"resume",
+		"resume/contact",
+		"resume/education",
+		"resume/education/date",
+		"resume/education/degree",
+		"resume/skills",
+	}
+	if got := ix.Paths(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("paths = %v", got)
+	}
+}
+
+func TestPathsEndingIn(t *testing.T) {
+	ix := Build([]*dom.Node{
+		el("resume", el("education", el("date")), el("courses", el("date"))),
+	})
+	got := ix.PathsEndingIn("date")
+	want := []string{"resume/courses/date", "resume/education/date"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paths = %v", got)
+	}
+	if len(ix.PathsEndingIn("zzz")) != 0 {
+		t.Fatal("phantom label")
+	}
+}
+
+func TestDocFrequency(t *testing.T) {
+	ix := Build(docs())
+	if f := ix.DocFrequency("resume/education/degree"); f != 2 {
+		t.Fatalf("freq = %d", f)
+	}
+	if f := ix.DocFrequency("resume/contact"); f != 1 {
+		t.Fatalf("freq = %d", f)
+	}
+	// Multiple occurrences in one document count once.
+	ix2 := Build([]*dom.Node{el("r", el("x"), el("x"), el("x"))})
+	if f := ix2.DocFrequency("r/x"); f != 1 {
+		t.Fatalf("freq = %d", f)
+	}
+}
+
+func TestAvgPosition(t *testing.T) {
+	ix := Build(docs())
+	// education is child 1 in doc0 and child 0 in doc1.
+	if p, ok := ix.AvgPosition("resume/education"); !ok || p != 0.5 {
+		t.Fatalf("avg pos = %v,%v", p, ok)
+	}
+	if _, ok := ix.AvgPosition("no/such"); ok {
+		t.Fatal("phantom position")
+	}
+}
+
+func TestNonElementNodesIgnored(t *testing.T) {
+	r := el("resume")
+	r.AppendChild(dom.NewText("hello"))
+	r.AppendChild(el("contact"))
+	ix := Build([]*dom.Node{r})
+	refs := ix.Lookup("resume/contact")
+	if len(refs) != 1 || refs[0].Pos != 0 {
+		t.Fatalf("text node should not shift element positions: %+v", refs)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	ds := docs()
+	for i := 0; i < 6; i++ {
+		ds = append(ds, ds...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(ds)
+	}
+}

@@ -1,0 +1,191 @@
+// Package query implements a small label-path query language over an XML
+// repository — the retrieval capability the paper's introduction motivates
+// ("querying Web based data in a way more efficient and effective than just
+// keyword based retrieval"). Queries are evaluated against the path index
+// of internal/pathindex.
+//
+// Syntax (a practical XPath subset over label paths and val attributes):
+//
+//	/resume/education/institution          child steps
+//	//institution                          descendant step (any depth)
+//	/resume//date                          mixed
+//	/resume/*/degree                       single-step wildcard
+//	//institution[@val~"Davis"]            val contains
+//	//degree[@val="B.S."]                  val equals
+//
+// Predicates apply to the final step.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"webrev/internal/pathindex"
+	"webrev/internal/schema"
+)
+
+// Step is one location step of a compiled query.
+type Step struct {
+	Label      string // element name, or "*" for any
+	Descendant bool   // true when reached via "//" (any depth ≥ 1)
+}
+
+// Predicate restricts the val attribute of matched nodes.
+type Predicate struct {
+	Contains bool // substring match rather than equality
+	Value    string
+}
+
+// Query is a compiled query.
+type Query struct {
+	Steps []Step
+	Pred  *Predicate
+	src   string
+}
+
+// String returns the original query text.
+func (q *Query) String() string { return q.src }
+
+// Compile parses a query expression.
+func Compile(src string) (*Query, error) {
+	q := &Query{src: src}
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return nil, fmt.Errorf("query: empty expression")
+	}
+	// Trailing predicate.
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("query: unterminated predicate in %q", src)
+		}
+		pred, err := parsePredicate(s[i+1 : len(s)-1])
+		if err != nil {
+			return nil, err
+		}
+		q.Pred = pred
+		s = s[:i]
+	}
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("query: expression must start with / or //")
+	}
+	for len(s) > 0 {
+		desc := false
+		switch {
+		case strings.HasPrefix(s, "//"):
+			desc = true
+			s = s[2:]
+		case strings.HasPrefix(s, "/"):
+			s = s[1:]
+		}
+		if s == "" {
+			return nil, fmt.Errorf("query: trailing slash in %q", src)
+		}
+		end := strings.IndexByte(s, '/')
+		var label string
+		if end < 0 {
+			label, s = s, ""
+		} else {
+			label, s = s[:end], s[end:]
+		}
+		if label == "" {
+			return nil, fmt.Errorf("query: empty step in %q", src)
+		}
+		if label == "*" && desc {
+			return nil, fmt.Errorf("query: //* is not supported")
+		}
+		q.Steps = append(q.Steps, Step{Label: label, Descendant: desc})
+	}
+	if len(q.Steps) == 0 {
+		return nil, fmt.Errorf("query: no steps in %q", src)
+	}
+	return q, nil
+}
+
+func parsePredicate(s string) (*Predicate, error) {
+	s = strings.TrimSpace(s)
+	for _, op := range []struct {
+		sep      string
+		contains bool
+	}{{"~", true}, {"=", false}} {
+		prefix := "@val" + op.sep
+		if strings.HasPrefix(s, prefix) {
+			v := strings.TrimPrefix(s, prefix)
+			v = strings.Trim(v, `"`)
+			return &Predicate{Contains: op.contains, Value: v}, nil
+		}
+	}
+	return nil, fmt.Errorf("query: unsupported predicate [%s]", s)
+}
+
+// matchPath reports whether a Sep-joined label path satisfies the steps.
+func (q *Query) matchPath(path string) bool {
+	labels := schema.Split(path)
+	return matchSteps(q.Steps, labels, true)
+}
+
+// matchSteps matches steps against labels. atRoot requires the first
+// non-descendant step to match the first label.
+func matchSteps(steps []Step, labels []string, atRoot bool) bool {
+	if len(steps) == 0 {
+		return len(labels) == 0
+	}
+	st := steps[0]
+	if st.Descendant {
+		// Skip 0..n labels before matching (descendant-or-deeper: // means
+		// any depth ≥ 1 below the current point; at the very start //x also
+		// matches a root named x).
+		for i := 0; i < len(labels); i++ {
+			if stepMatches(st, labels[i]) && matchSteps(steps[1:], labels[i+1:], false) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(labels) == 0 || !stepMatches(st, labels[0]) {
+		return false
+	}
+	return matchSteps(steps[1:], labels[1:], false)
+}
+
+func stepMatches(st Step, label string) bool {
+	return st.Label == "*" || st.Label == label
+}
+
+// Evaluate runs the query against an index and returns the matching node
+// references in index order.
+func (q *Query) Evaluate(ix *pathindex.Index) []pathindex.Ref {
+	var out []pathindex.Ref
+	// Candidate paths: when the final step is a concrete label, only paths
+	// ending in it can match; otherwise scan all.
+	last := q.Steps[len(q.Steps)-1]
+	var candidates []string
+	if last.Label != "*" {
+		candidates = ix.PathsEndingIn(last.Label)
+	} else {
+		candidates = ix.Paths()
+	}
+	for _, p := range candidates {
+		if !q.matchPath(p) {
+			continue
+		}
+		for _, ref := range ix.Lookup(p) {
+			if q.Pred == nil || q.predMatches(ref) {
+				out = append(out, ref)
+			}
+		}
+	}
+	return out
+}
+
+func (q *Query) predMatches(ref pathindex.Ref) bool {
+	val := ref.Node.Val()
+	if q.Pred.Contains {
+		return strings.Contains(val, q.Pred.Value)
+	}
+	return val == q.Pred.Value
+}
+
+// Count returns the number of matches without materializing them all.
+func (q *Query) Count(ix *pathindex.Index) int {
+	return len(q.Evaluate(ix))
+}

@@ -1,0 +1,237 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"webrev/internal/dom"
+	"webrev/internal/pathindex"
+)
+
+func el(tag string, children ...*dom.Node) *dom.Node {
+	return dom.Elem(tag, nil, children...)
+}
+
+func elv(tag, val string, children ...*dom.Node) *dom.Node {
+	n := dom.Elem(tag, []string{"val", val}, children...)
+	return n
+}
+
+func index() *pathindex.Index {
+	return pathindex.Build([]*dom.Node{
+		el("resume",
+			elv("contact", "a@x"),
+			el("education",
+				elv("institution", "UC Davis",
+					elv("degree", "B.S."),
+					elv("date", "June 1996"),
+				),
+				elv("institution", "Stanford",
+					elv("degree", "M.S."),
+				),
+			),
+			el("courses", elv("date", "Fall 1997")),
+		),
+		el("resume",
+			el("education",
+				elv("institution", "MIT", elv("degree", "B.S.")),
+			),
+		),
+	})
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"", "resume", "/", "//", "/resume/", "/resume//", "//*",
+		"/a[@val~\"x\"", "/a[zzz]", "/a[val=\"x\"]",
+	}
+	for _, q := range bad {
+		if _, err := Compile(q); err == nil {
+			t.Errorf("Compile(%q) should fail", q)
+		}
+	}
+}
+
+func TestCompileStructure(t *testing.T) {
+	q, err := Compile(`/resume//date[@val~"June"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Steps) != 2 || q.Steps[0].Descendant || !q.Steps[1].Descendant {
+		t.Fatalf("steps = %+v", q.Steps)
+	}
+	if q.Pred == nil || !q.Pred.Contains || q.Pred.Value != "June" {
+		t.Fatalf("pred = %+v", q.Pred)
+	}
+	if q.String() != `/resume//date[@val~"June"]` {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func mustEval(t *testing.T, expr string) []pathindex.Ref {
+	t.Helper()
+	q, err := Compile(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Evaluate(index())
+}
+
+func TestChildSteps(t *testing.T) {
+	if got := mustEval(t, "/resume/education/institution"); len(got) != 3 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got := mustEval(t, "/resume/contact"); len(got) != 1 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got := mustEval(t, "/resume/institution"); len(got) != 0 {
+		t.Fatalf("wrong-level match: %d", len(got))
+	}
+}
+
+func TestDescendantSteps(t *testing.T) {
+	// date appears under institution and under courses.
+	if got := mustEval(t, "//date"); len(got) != 2 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got := mustEval(t, "/resume//degree"); len(got) != 3 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got := mustEval(t, "//resume"); len(got) != 2 {
+		t.Fatalf("root via //: %d", len(got))
+	}
+}
+
+func TestWildcardStep(t *testing.T) {
+	// /resume/*/institution: any single level between resume and inst.
+	if got := mustEval(t, "/resume/*/institution"); len(got) != 3 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	// doc0 has contact/education/courses, doc1 has education.
+	if got := mustEval(t, "/resume/*"); len(got) != 4 {
+		t.Fatalf("matches = %d", len(got))
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if got := mustEval(t, `//degree[@val="B.S."]`); len(got) != 2 {
+		t.Fatalf("equality matches = %d", len(got))
+	}
+	if got := mustEval(t, `//institution[@val~"Davis"]`); len(got) != 1 {
+		t.Fatalf("contains matches = %d", len(got))
+	}
+	if got := mustEval(t, `//date[@val~"June"]`); len(got) != 1 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got := mustEval(t, `//degree[@val="Ph.D."]`); len(got) != 0 {
+		t.Fatalf("phantom matches = %d", len(got))
+	}
+}
+
+func TestCount(t *testing.T) {
+	q, err := Compile("//institution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Count(index()); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestEvaluateReturnsUsableRefs(t *testing.T) {
+	refs := mustEval(t, `//institution[@val~"MIT"]`)
+	if len(refs) != 1 {
+		t.Fatalf("refs = %+v", refs)
+	}
+	if refs[0].Doc != 1 || refs[0].Node.Val() != "MIT" {
+		t.Fatalf("ref = %+v", refs[0])
+	}
+	// The node is live: navigate to its children.
+	if refs[0].Node.FindElement("degree") == nil {
+		t.Fatal("ref node lost its subtree")
+	}
+}
+
+// naiveEvaluate re-implements query evaluation as a direct tree walk,
+// used as the oracle for the differential property test.
+func naiveEvaluate(q *Query, docs []*dom.Node) int {
+	count := 0
+	var walk func(n *dom.Node, path []string)
+	walk = func(n *dom.Node, path []string) {
+		if n.Type != dom.ElementNode {
+			return
+		}
+		path = append(path, n.Tag)
+		if matchSteps(q.Steps, path, true) {
+			if q.Pred == nil {
+				count++
+			} else {
+				val := n.Val()
+				if q.Pred.Contains && strings.Contains(val, q.Pred.Value) {
+					count++
+				} else if !q.Pred.Contains && val == q.Pred.Value {
+					count++
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	for _, d := range docs {
+		walk(d, nil)
+	}
+	return count
+}
+
+func TestPropertyIndexMatchesNaiveWalk(t *testing.T) {
+	tags := []string{"resume", "education", "institution", "degree", "date"}
+	exprs := []string{
+		"/resume", "//degree", "/resume/education", "/resume//date",
+		"/resume/*/degree", "//institution", `//degree[@val="x"]`,
+		`//date[@val~"19"]`,
+	}
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var docs []*dom.Node
+		for d := 0; d < 1+int(size%3); d++ {
+			root := el("resume")
+			nodes := []*dom.Node{root}
+			for i := 0; i < int(size%30); i++ {
+				p := nodes[r.Intn(len(nodes))]
+				c := el(tags[1+r.Intn(len(tags)-1)])
+				if r.Intn(2) == 0 {
+					c.SetVal([]string{"x", "1996", "y"}[r.Intn(3)])
+				}
+				p.AppendChild(c)
+				nodes = append(nodes, c)
+			}
+			docs = append(docs, root)
+		}
+		ix := pathindex.Build(docs)
+		for _, expr := range exprs {
+			q, err := Compile(expr)
+			if err != nil {
+				return false
+			}
+			if len(q.Evaluate(ix)) != naiveEvaluate(q, docs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEvaluateDescendant(b *testing.B) {
+	ix := index()
+	q, _ := Compile(`//degree[@val="B.S."]`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Evaluate(ix)
+	}
+}

@@ -1,0 +1,156 @@
+// Package repository implements the XML document repository the pipeline
+// feeds (paper §1: "integration of topic specific HTML documents into a
+// repository of XML documents"). A repository couples a derived DTD with
+// the conformant documents, persists both to disk, loads them back, and
+// answers label-path queries through the path index.
+package repository
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"webrev/internal/dom"
+	"webrev/internal/dtd"
+	"webrev/internal/pathindex"
+	"webrev/internal/query"
+	"webrev/internal/xmlout"
+)
+
+// Repository is a set of DTD-conformant XML documents.
+type Repository struct {
+	dtd   *dtd.DTD
+	names []string
+	docs  []*dom.Node
+	index *pathindex.Index // built lazily, invalidated by Add
+}
+
+// New returns an empty repository governed by the given DTD.
+func New(d *dtd.DTD) *Repository { return &Repository{dtd: d} }
+
+// DTD returns the governing DTD.
+func (r *Repository) DTD() *dtd.DTD { return r.dtd }
+
+// Len returns the number of stored documents.
+func (r *Repository) Len() int { return len(r.docs) }
+
+// Names returns the stored document names in insertion order.
+func (r *Repository) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Doc returns the i-th document.
+func (r *Repository) Doc(i int) *dom.Node { return r.docs[i] }
+
+// Add validates doc against the DTD and stores it. Non-conforming
+// documents are rejected — map them first (internal/mapping.Conform).
+func (r *Repository) Add(name string, doc *dom.Node) error {
+	if errs := r.dtd.Validate(doc); len(errs) > 0 {
+		return fmt.Errorf("repository: %q does not conform: %v", name, errs[0])
+	}
+	r.names = append(r.names, name)
+	r.docs = append(r.docs, doc)
+	r.index = nil
+	return nil
+}
+
+// Index returns the label-path index over the stored documents, building
+// it on first use.
+func (r *Repository) Index() *pathindex.Index {
+	if r.index == nil {
+		r.index = pathindex.Build(r.docs)
+	}
+	return r.index
+}
+
+// Query compiles and evaluates a label-path query (see internal/query for
+// the syntax) against the repository.
+func (r *Repository) Query(expr string) ([]pathindex.Ref, error) {
+	q, err := query.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return q.Evaluate(r.Index()), nil
+}
+
+const (
+	dtdFile      = "schema.dtd"
+	manifestFile = "manifest.txt"
+)
+
+// Save writes the repository to dir: schema.dtd, one XML file per document,
+// and a manifest mapping files to original names.
+func (r *Repository) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, dtdFile), []byte(r.dtd.Render()), 0o644); err != nil {
+		return err
+	}
+	var manifest strings.Builder
+	for i, doc := range r.docs {
+		file := fmt.Sprintf("doc-%05d.xml", i)
+		if err := writeDoc(filepath.Join(dir, file), doc); err != nil {
+			return err
+		}
+		fmt.Fprintf(&manifest, "%s\t%s\n", file, r.names[i])
+	}
+	return os.WriteFile(filepath.Join(dir, manifestFile), []byte(manifest.String()), 0o644)
+}
+
+func writeDoc(path string, doc *dom.Node) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := xmlout.MarshalTo(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a repository previously written by Save. Every document is
+// re-validated against the loaded DTD.
+func Load(dir string) (*Repository, error) {
+	dtdText, err := os.ReadFile(filepath.Join(dir, dtdFile))
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	d, err := dtd.Parse(string(dtdText))
+	if err != nil {
+		return nil, err
+	}
+	r := New(d)
+	manifest, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(manifest)), "\n")
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		file, name, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("repository: malformed manifest line %q", line)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, file))
+		if err != nil {
+			return nil, fmt.Errorf("repository: %w", err)
+		}
+		doc, err := xmlout.UnmarshalElement(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("repository: %s: %w", file, err)
+		}
+		if err := r.Add(name, doc); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

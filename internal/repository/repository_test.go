@@ -1,0 +1,185 @@
+package repository
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webrev/internal/dom"
+	"webrev/internal/dtd"
+	"webrev/internal/mapping"
+	"webrev/internal/schema"
+)
+
+func el(tag string, children ...*dom.Node) *dom.Node {
+	return dom.Elem(tag, nil, children...)
+}
+
+func elv(tag, val string, children ...*dom.Node) *dom.Node {
+	return dom.Elem(tag, []string{"val", val}, children...)
+}
+
+func testDTD(t *testing.T) *dtd.DTD {
+	t.Helper()
+	mk := func() *schema.DocPaths {
+		return schema.Extract(el("resume",
+			el("contact"),
+			el("education", el("institution"), el("degree")),
+			el("education", el("institution"), el("degree")),
+			el("education", el("institution"), el("degree")),
+		))
+	}
+	s := (&schema.Miner{SupThreshold: 0.5}).Discover([]*schema.DocPaths{mk(), mk()})
+	return dtd.FromSchema(s, dtd.Options{})
+}
+
+func conformingDoc(val string) *dom.Node {
+	return el("resume",
+		elv("contact", val),
+		el("education", elv("institution", "UC "+val), el("degree")),
+	)
+}
+
+func TestAddValidates(t *testing.T) {
+	r := New(testDTD(t))
+	if err := r.Add("good", conformingDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Names()[0] != "good" {
+		t.Fatalf("len=%d names=%v", r.Len(), r.Names())
+	}
+	bad := el("resume", el("zzz"))
+	if err := r.Add("bad", bad); err == nil {
+		t.Fatal("non-conforming doc accepted")
+	}
+	if r.Len() != 1 {
+		t.Fatal("rejected doc stored")
+	}
+}
+
+func TestAddAfterConform(t *testing.T) {
+	d := testDTD(t)
+	r := New(d)
+	messy := el("resume", el("education", el("degree"), el("institution")), el("junk"))
+	fixed, _ := mapping.Conform(messy, d)
+	if err := r.Add("fixed", fixed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuery(t *testing.T) {
+	r := New(testDTD(t))
+	for _, v := range []string{"alpha", "beta", "gamma"} {
+		if err := r.Add(v, conformingDoc(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs, err := r.Query(`//institution[@val~"beta"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0].Node.Val() != "UC beta" {
+		t.Fatalf("refs = %+v", refs)
+	}
+	all, err := r.Query("/resume/education/institution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("matches = %d", len(all))
+	}
+	if _, err := r.Query("not a query"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestIndexInvalidatedByAdd(t *testing.T) {
+	r := New(testDTD(t))
+	r.Add("a", conformingDoc("a"))
+	before := r.Index().Docs()
+	r.Add("b", conformingDoc("b"))
+	if got := r.Index().Docs(); got != before+1 {
+		t.Fatalf("index not rebuilt: %d docs", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := New(testDTD(t))
+	for _, v := range []string{"one", "two"} {
+		if err := r.Add(v+".html", conformingDoc(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d docs", loaded.Len())
+	}
+	if got := strings.Join(loaded.Names(), ","); got != "one.html,two.html" {
+		t.Fatalf("names = %q", got)
+	}
+	for i := 0; i < r.Len(); i++ {
+		if !r.Doc(i).Equal(loaded.Doc(i)) {
+			t.Fatalf("doc %d differs:\n%s\n%s", i, r.Doc(i).String(), loaded.Doc(i).String())
+		}
+	}
+	if loaded.DTD().Len() != r.DTD().Len() {
+		t.Fatal("DTD lost declarations")
+	}
+	// Queries work on the loaded repository.
+	refs, err := loaded.Query(`//contact[@val="one"]`)
+	if err != nil || len(refs) != 1 {
+		t.Fatalf("query on loaded repo: %v, %d refs", err, len(refs))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing dir should fail")
+	}
+	// Corrupt DTD.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "schema.dtd"), []byte("<!GARBAGE>"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt DTD should fail")
+	}
+	// Valid DTD but missing manifest.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "schema.dtd"), []byte("<!ELEMENT r (#PCDATA)>"), 0o644)
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("missing manifest should fail")
+	}
+	// Manifest referencing a missing file.
+	dir3 := t.TempDir()
+	os.WriteFile(filepath.Join(dir3, "schema.dtd"), []byte("<!ELEMENT r (#PCDATA)>"), 0o644)
+	os.WriteFile(filepath.Join(dir3, "manifest.txt"), []byte("doc-00000.xml\tx\n"), 0o644)
+	if _, err := Load(dir3); err == nil {
+		t.Fatal("missing doc file should fail")
+	}
+	// Malformed manifest line.
+	dir4 := t.TempDir()
+	os.WriteFile(filepath.Join(dir4, "schema.dtd"), []byte("<!ELEMENT r (#PCDATA)>"), 0o644)
+	os.WriteFile(filepath.Join(dir4, "manifest.txt"), []byte("no-tab-here\n"), 0o644)
+	if _, err := Load(dir4); err == nil {
+		t.Fatal("malformed manifest should fail")
+	}
+}
+
+func TestLoadRevalidates(t *testing.T) {
+	// Hand-craft a repository directory whose document violates the DTD.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "schema.dtd"),
+		[]byte("<!ELEMENT r ((#PCDATA), a)>\n<!ELEMENT a (#PCDATA)>"), 0o644)
+	os.WriteFile(filepath.Join(dir, "doc-00000.xml"), []byte("<r><b/></r>"), 0o644)
+	os.WriteFile(filepath.Join(dir, "manifest.txt"), []byte("doc-00000.xml\tx\n"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("invalid stored document should fail validation on load")
+	}
+}

@@ -1,0 +1,284 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"webrev/internal/concept"
+)
+
+// DefaultRepThreshold is the sibling count above which an element counts as
+// repetitive in a document; "empirical studies prove the value 3 to be
+// useful" (§3.3, citing the same observation in XTRACT).
+const DefaultRepThreshold = 3
+
+// DefaultMultThreshold is the fraction of documents that must show
+// repetition for an element to be declared e+ in the DTD (§3.3 uses 0.5).
+const DefaultMultThreshold = 0.5
+
+// Miner discovers the majority schema — the set of frequent label paths —
+// from a corpus of path-reduced XML documents.
+type Miner struct {
+	// SupThreshold is the minimum document-frequency support a path must
+	// reach to be frequent (§3.2).
+	SupThreshold float64
+	// RatioThreshold is the minimum supportRatio(p) =
+	// support(p)/support(parent(p)); it keeps deep paths whose absolute
+	// support naturally decays (§3.2).
+	RatioThreshold float64
+	// RepThreshold and MultThreshold parameterize the repetition rule used
+	// later by DTD derivation; recorded per schema node here because the
+	// statistics live in the miner's input. Defaults applied when zero.
+	RepThreshold  int
+	MultThreshold float64
+	// Constraints and Set, when non-nil, prune the path search space before
+	// support is even consulted (§4.2).
+	Constraints *concept.Constraints
+	Set         *concept.Set
+}
+
+// Node is one node of the discovered majority schema tree TF.
+type Node struct {
+	Label    string
+	Path     string  // Sep-joined path from the root label
+	Support  float64 // document frequency of Path
+	Ratio    float64 // supportRatio of Path
+	AvgPos   float64 // mean child position across documents (ordering rule)
+	RepFrac  float64 // fraction of containing docs where the node repeats
+	Children []*Node
+	// Seqs samples the child-label sequences observed for this node across
+	// documents (capped), enabling repetitive group-pattern discovery in
+	// DTD derivation.
+	Seqs [][]string
+}
+
+// maxSeqSamples bounds the per-node sequence sample kept for group-pattern
+// detection.
+const maxSeqSamples = 256
+
+// Schema is the result of discovery: the majority schema tree plus the
+// exploration statistics reported in §4.2.
+type Schema struct {
+	Roots []*Node // one per distinct root label (normally exactly one)
+	// Explored counts candidate paths tested against the corpus (only paths
+	// with non-zero support are ever generated, matching the paper's "73
+	// nodes explored").
+	Explored int
+	// Pruned counts candidates rejected by constraints before support
+	// testing.
+	Pruned int
+	// Docs is the corpus size |D_XML|.
+	Docs int
+}
+
+// Discover mines the majority schema from the corpus. It never fails; an
+// empty corpus yields an empty schema.
+func (m *Miner) Discover(docs []*DocPaths) *Schema {
+	rep := m.RepThreshold
+	if rep <= 0 {
+		rep = DefaultRepThreshold
+	}
+	s := &Schema{Docs: len(docs)}
+	if len(docs) == 0 {
+		return s
+	}
+	n := float64(len(docs))
+
+	// Document frequency per path, computed once. DocPaths.Paths is
+	// prefix-closed by construction, so freq is antitone along prefixes.
+	freq := make(map[string]int)
+	for _, d := range docs {
+		for p := range d.Paths {
+			freq[p]++
+		}
+	}
+	// Child labels per path, from the union trie.
+	children := make(map[string]map[string]bool)
+	rootLabels := make(map[string]bool)
+	for p := range freq {
+		parent := ParentPath(p)
+		if parent == "" {
+			rootLabels[p] = true
+			continue
+		}
+		cs := children[parent]
+		if cs == nil {
+			cs = make(map[string]bool)
+			children[parent] = cs
+		}
+		cs[LastLabel(p)] = true
+	}
+
+	var build func(path string, parentSup float64, depth int) *Node
+	build = func(path string, parentSup float64, depth int) *Node {
+		if m.Constraints != nil {
+			labels := Split(path)
+			// The root label (document type, e.g. "resume") is not a
+			// concept; constraints apply to the concept path below it.
+			if len(labels) > 1 {
+				if !m.Constraints.AllowPath(labels[1:], m.Set) {
+					s.Pruned++
+					return nil
+				}
+			}
+		}
+		s.Explored++
+		sup := float64(freq[path]) / n
+		ratio := 1.0
+		if parentSup > 0 {
+			ratio = sup / parentSup
+		}
+		if sup < m.SupThreshold || ratio < m.RatioThreshold {
+			return nil
+		}
+		node := &Node{
+			Label:   LastLabel(path),
+			Path:    path,
+			Support: sup,
+			Ratio:   ratio,
+		}
+		// Aggregate ordering and repetition statistics over containing docs.
+		posSum, posN, repDocs, contain := 0.0, 0, 0, 0
+		for _, d := range docs {
+			if !d.Paths[path] {
+				continue
+			}
+			contain++
+			if ap, ok := d.AvgPos(path); ok {
+				posSum += ap
+				posN++
+			}
+			if d.Mult[path] >= rep {
+				repDocs++
+			}
+			for _, seq := range d.ChildSeqs[path] {
+				if len(node.Seqs) < maxSeqSamples {
+					node.Seqs = append(node.Seqs, seq)
+				}
+			}
+		}
+		if posN > 0 {
+			node.AvgPos = posSum / float64(posN)
+		}
+		if contain > 0 {
+			node.RepFrac = float64(repDocs) / float64(contain)
+		}
+		var labels []string
+		for l := range children[path] {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			if c := build(path+Sep+l, sup, depth+1); c != nil {
+				node.Children = append(node.Children, c)
+			}
+		}
+		// Ordering rule (§3.3): child elements ordered by average position.
+		sort.SliceStable(node.Children, func(i, j int) bool {
+			return node.Children[i].AvgPos < node.Children[j].AvgPos
+		})
+		return node
+	}
+
+	var roots []string
+	for r := range rootLabels {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	for _, r := range roots {
+		if node := build(r, 0, 0); node != nil {
+			s.Roots = append(s.Roots, node)
+		}
+	}
+	return s
+}
+
+// Root returns the schema's single root, or nil when the corpus was empty
+// or had no frequent root.
+func (s *Schema) Root() *Node {
+	if len(s.Roots) == 0 {
+		return nil
+	}
+	return s.Roots[0]
+}
+
+// Paths returns every frequent path in the schema, sorted.
+func (s *Schema) Paths() []string {
+	var out []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		out = append(out, n.Path)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range s.Roots {
+		walk(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether the schema includes the given path.
+func (s *Schema) Contains(path string) bool {
+	labels := Split(path)
+	for _, r := range s.Roots {
+		if r.Label != labels[0] {
+			continue
+		}
+		n := r
+		ok := true
+		for _, l := range labels[1:] {
+			var next *Node
+			for _, c := range n.Children {
+				if c.Label == l {
+					next = c
+					break
+				}
+			}
+			if next == nil {
+				ok = false
+				break
+			}
+			n = next
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// CountNodes returns the number of nodes in the schema tree.
+func (s *Schema) CountNodes() int {
+	n := 0
+	var walk func(*Node)
+	walk = func(x *Node) {
+		n++
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	for _, r := range s.Roots {
+		walk(r)
+	}
+	return n
+}
+
+// String renders the schema tree with support annotations.
+func (s *Schema) String() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%s (sup=%.2f ratio=%.2f rep=%.2f pos=%.2f)\n",
+			strings.Repeat("  ", depth), n.Label, n.Support, n.Ratio, n.RepFrac, n.AvgPos)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range s.Roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package schema
+
+import "sort"
+
+// Unify merges similarly structured sibling components of a discovered
+// schema — the optional refinement §3.2 mentions ("similarly structured
+// components in a schema discovered by this approach can be further
+// unified", detailed in the thesis the paper cites). Heterogeneous
+// authoring splits one logical component across variants (an education
+// entry headed by its date in some documents and by its institution in
+// others); when two sibling subtrees share at least simThreshold of their
+// descendant labels (Jaccard similarity), the lower-support variant is
+// folded into the higher-support one.
+//
+// The merge unions child sets recursively, adds supports (capping at the
+// parent's support, since document sets may overlap), and keeps the
+// dominant variant's label and ordering statistics. Unify returns the
+// number of merges performed; the schema is modified in place.
+func Unify(s *Schema, simThreshold float64) int {
+	if simThreshold <= 0 || simThreshold > 1 {
+		simThreshold = 0.5
+	}
+	merges := 0
+	for _, r := range s.Roots {
+		merges += unifyNode(r, r.Support, simThreshold)
+	}
+	return merges
+}
+
+func unifyNode(n *Node, parentSup float64, threshold float64) int {
+	merges := 0
+	// Children first, so similarity is judged on settled subtrees.
+	for _, c := range n.Children {
+		merges += unifyNode(c, c.Support, threshold)
+	}
+	for {
+		i, j := findSimilarPair(n.Children, threshold)
+		if i < 0 {
+			break
+		}
+		a, b := n.Children[i], n.Children[j]
+		if b.Support > a.Support {
+			a, b = b, a
+		}
+		mergeInto(a, b, parentSup)
+		// Remove b.
+		out := n.Children[:0]
+		for _, c := range n.Children {
+			if c != b {
+				out = append(out, c)
+			}
+		}
+		n.Children = out
+		merges++
+	}
+	if merges > 0 {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].AvgPos < n.Children[j].AvgPos
+		})
+	}
+	return merges
+}
+
+// findSimilarPair returns the first pair of distinct-label siblings whose
+// descendant label sets are at least threshold-similar, or (-1, -1).
+// Same-label siblings cannot occur (children are keyed by label).
+func findSimilarPair(children []*Node, threshold float64) (int, int) {
+	for i := 0; i < len(children); i++ {
+		for j := i + 1; j < len(children); j++ {
+			if jaccard(labelSet(children[i]), labelSet(children[j])) >= threshold {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// labelSet collects the labels of a node's descendants plus its own label.
+func labelSet(n *Node) map[string]bool {
+	set := make(map[string]bool)
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		set[m.Label] = true
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return set
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// mergeInto folds variant b into the dominant variant a.
+func mergeInto(a, b *Node, parentSup float64) {
+	a.Support += b.Support
+	if parentSup > 0 && a.Support > parentSup {
+		a.Support = parentSup
+	}
+	a.Ratio = 1
+	if parentSup > 0 {
+		a.Ratio = a.Support / parentSup
+	}
+	if b.RepFrac > a.RepFrac {
+		a.RepFrac = b.RepFrac
+	}
+	for _, bc := range b.Children {
+		if bc.Label == a.Label {
+			// The variant's head appears as the dominant head's child (the
+			// roles were swapped across documents); merge its children up.
+			mergeChildren(a, bc)
+			continue
+		}
+		mergeChild(a, bc)
+	}
+	rewritePaths(a, ParentPath(a.Path))
+}
+
+func mergeChildren(a, b *Node) {
+	for _, bc := range b.Children {
+		if bc.Label == a.Label {
+			mergeChildren(a, bc)
+			continue
+		}
+		mergeChild(a, bc)
+	}
+}
+
+func mergeChild(a *Node, bc *Node) {
+	for _, ac := range a.Children {
+		if ac.Label == bc.Label {
+			ac.Support += bc.Support
+			if ac.Support > a.Support {
+				ac.Support = a.Support
+			}
+			ac.Ratio = ac.Support / a.Support
+			if bc.RepFrac > ac.RepFrac {
+				ac.RepFrac = bc.RepFrac
+			}
+			mergeChildren(ac, bc)
+			return
+		}
+	}
+	a.Children = append(a.Children, bc)
+}
+
+// rewritePaths fixes the Path fields of a subtree after re-parenting.
+func rewritePaths(n *Node, parent string) {
+	if parent == "" {
+		n.Path = n.Label
+	} else {
+		n.Path = parent + Sep + n.Label
+	}
+	for _, c := range n.Children {
+		rewritePaths(c, n.Path)
+	}
+}

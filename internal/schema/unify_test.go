@@ -1,0 +1,121 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"webrev/internal/dom"
+)
+
+// variantCorpus yields education entries headed by date in some docs and by
+// institution in others — the split Unify repairs.
+func variantCorpus() []*DocPaths {
+	dateFirst := func() *DocPaths {
+		return Extract(el("resume",
+			el("education", el("date", el("institution"), el("degree"))),
+		))
+	}
+	instFirst := func() *DocPaths {
+		return Extract(el("resume",
+			el("education", el("institution", el("degree"), el("date"))),
+		))
+	}
+	return []*DocPaths{dateFirst(), dateFirst(), dateFirst(), instFirst(), instFirst()}
+}
+
+func el2(tag string, children ...*dom.Node) *dom.Node { // avoid clash warning
+	return dom.Elem(tag, nil, children...)
+}
+
+func TestUnifyMergesVariants(t *testing.T) {
+	s := (&Miner{SupThreshold: 0.3, RatioThreshold: 0}).Discover(variantCorpus())
+	edu := s.Root().Children[0]
+	if len(edu.Children) != 2 {
+		t.Fatalf("setup: expected 2 variants, got %d\n%s", len(edu.Children), s.String())
+	}
+	merges := Unify(s, 0.5)
+	if merges != 1 {
+		t.Fatalf("merges = %d\n%s", merges, s.String())
+	}
+	if len(edu.Children) != 1 {
+		t.Fatalf("variants not merged:\n%s", s.String())
+	}
+	head := edu.Children[0]
+	// date-first dominates (3 of 5 docs).
+	if head.Label != "date" {
+		t.Fatalf("dominant head = %s", head.Label)
+	}
+	// Merged support: 3/5 + 2/5 = 1.0.
+	if head.Support < 0.99 {
+		t.Fatalf("merged support = %v", head.Support)
+	}
+	// institution and degree both survive under the unified head.
+	var labels []string
+	for _, c := range head.Children {
+		labels = append(labels, c.Label)
+	}
+	got := strings.Join(labels, " ")
+	if !strings.Contains(got, "institution") || !strings.Contains(got, "degree") {
+		t.Fatalf("children = %q", got)
+	}
+	// Paths rewritten consistently.
+	if !s.Contains("resume/education/date/institution") {
+		t.Fatalf("paths broken:\n%s", s.String())
+	}
+}
+
+func TestUnifyLeavesDissimilarAlone(t *testing.T) {
+	docs := []*DocPaths{
+		Extract(el2("resume",
+			el2("education", el2("degree")),
+			el2("experience", el2("company"), el2("title"), el2("description")),
+		)),
+		Extract(el2("resume",
+			el2("education", el2("degree")),
+			el2("experience", el2("company"), el2("title"), el2("description")),
+		)),
+	}
+	s := (&Miner{SupThreshold: 0.5}).Discover(docs)
+	before := len(s.Paths())
+	if merges := Unify(s, 0.5); merges != 0 {
+		t.Fatalf("unexpected merges: %d\n%s", merges, s.String())
+	}
+	if len(s.Paths()) != before {
+		t.Fatal("schema changed without merges")
+	}
+}
+
+func TestUnifyEmptySchema(t *testing.T) {
+	s := (&Miner{SupThreshold: 0.5}).Discover(nil)
+	if merges := Unify(s, 0.5); merges != 0 {
+		t.Fatalf("merges on empty schema: %d", merges)
+	}
+}
+
+func TestUnifyThresholdDefaulted(t *testing.T) {
+	s := (&Miner{SupThreshold: 0.3, RatioThreshold: 0}).Discover(variantCorpus())
+	if merges := Unify(s, -1); merges != 1 {
+		t.Fatalf("default threshold should merge: %d", merges)
+	}
+}
+
+func TestUnifySupportCappedByParent(t *testing.T) {
+	s := (&Miner{SupThreshold: 0.3, RatioThreshold: 0}).Discover(variantCorpus())
+	Unify(s, 0.5)
+	var check func(n *Node, parentSup float64) bool
+	check = func(n *Node, parentSup float64) bool {
+		if n.Support > parentSup+1e-9 {
+			return false
+		}
+		for _, c := range n.Children {
+			if !check(c, n.Support) {
+				return false
+			}
+		}
+		return true
+	}
+	root := s.Root()
+	if !check(root, 1.0) {
+		t.Fatalf("support exceeds parent after unification:\n%s", s.String())
+	}
+}

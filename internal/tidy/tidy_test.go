@@ -1,0 +1,165 @@
+package tidy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"webrev/internal/dom"
+	"webrev/internal/htmlparse"
+)
+
+func TestCleanRemovesScriptsStyleHead(t *testing.T) {
+	doc := htmlparse.Parse(`<html><head><title>t</title><style>p{}</style></head><body><script>x()</script><p>keep</p></body></html>`)
+	Clean(doc)
+	if doc.FindElement("script") != nil || doc.FindElement("style") != nil || doc.FindElement("head") != nil {
+		t.Fatalf("non-content survived: %s", doc.String())
+	}
+	if got := doc.InnerText(); got != "keep" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestCleanRemovesComments(t *testing.T) {
+	doc := htmlparse.Parse(`<!doctype html><p>a<!-- x -->b</p>`)
+	Clean(doc)
+	if doc.Find(func(n *dom.Node) bool { return n.Type == dom.CommentNode || n.Type == dom.DoctypeNode }) != nil {
+		t.Fatal("comment/doctype survived")
+	}
+}
+
+func TestCleanKeepOptions(t *testing.T) {
+	doc := htmlparse.Parse(`<p>a<!-- x --></p><script>s</script>`)
+	CleanWith(doc, Options{KeepComments: true, KeepScripts: true})
+	if doc.Find(func(n *dom.Node) bool { return n.Type == dom.CommentNode }) == nil {
+		t.Fatal("comment should be kept")
+	}
+	if doc.FindElement("script") == nil {
+		t.Fatal("script should be kept")
+	}
+}
+
+func TestWhitespaceNormalization(t *testing.T) {
+	doc := htmlparse.Parse("<p>  hello \n\t world  </p><div>   </div>")
+	Clean(doc)
+	p := doc.FindElement("p")
+	if got := p.Children[0].Text; got != " hello world " {
+		t.Fatalf("text = %q", got)
+	}
+	div := doc.FindElement("div")
+	if len(div.Children) != 0 {
+		t.Fatalf("whitespace-only text survived: %s", div.String())
+	}
+}
+
+func TestPreWhitespacePreserved(t *testing.T) {
+	doc := htmlparse.Parse("<body><pre>  line one\n    indented\n</pre><p>  normal   text </p></body>")
+	Clean(doc)
+	pre := doc.FindElement("pre")
+	if got := pre.Children[0].Text; got != "  line one\n    indented\n" {
+		t.Fatalf("pre text mangled: %q", got)
+	}
+	p := doc.FindElement("p")
+	if got := p.Children[0].Text; got != " normal text " {
+		t.Fatalf("p text = %q", got)
+	}
+}
+
+func TestMergeTextRuns(t *testing.T) {
+	p := dom.NewElement("p")
+	p.AppendChild(dom.NewText("a "))
+	p.AppendChild(dom.NewText(" b"))
+	p.AppendChild(dom.NewElement("br"))
+	p.AppendChild(dom.NewText("c"))
+	p.AppendChild(dom.NewText("d"))
+	mergeTextRuns(p)
+	if len(p.Children) != 3 {
+		t.Fatalf("children = %d: %s", len(p.Children), p.String())
+	}
+	if p.Children[0].Text != "a b" {
+		t.Fatalf("merged = %q", p.Children[0].Text)
+	}
+	if p.Children[2].Text != "cd" {
+		t.Fatalf("merged = %q", p.Children[2].Text)
+	}
+}
+
+func TestRepairHeadings(t *testing.T) {
+	// <h1>Title<p>para</p></h1> — p moved out after h1.
+	doc := htmlparse.Parse(`<body><h1>Title<p>para</body>`)
+	Clean(doc)
+	h1 := doc.FindElement("h1")
+	if h1.FindElement("p") != nil {
+		t.Fatalf("p still nested: %s", doc.String())
+	}
+	body := doc.FindElement("body")
+	if len(body.Children) != 2 || body.Children[1].Tag != "p" {
+		t.Fatalf("p not moved to sibling: %s", body.String())
+	}
+	if got := doc.InnerText(); got != "Title para" {
+		t.Fatalf("text order = %q", got)
+	}
+}
+
+func TestRepairHeadingsCascade(t *testing.T) {
+	// h2 nested inside h1 via missing end tags unwinds fully.
+	doc := htmlparse.Parse(`<body><h1>A<h2>B<p>c</body>`)
+	Clean(doc)
+	body := doc.FindElement("body")
+	var tags []string
+	for _, c := range body.Children {
+		tags = append(tags, c.Tag)
+	}
+	if got := strings.Join(tags, " "); got != "h1 h2 p" {
+		t.Fatalf("top-level = %q (%s)", got, body.String())
+	}
+}
+
+func TestHeadingInlineContentStays(t *testing.T) {
+	doc := htmlparse.Parse(`<h2><b>Edu</b>cation</h2>`)
+	Clean(doc)
+	h2 := doc.FindElement("h2")
+	if got := h2.InnerText(); got != "Edu cation" && got != "Education" {
+		t.Fatalf("heading text = %q", got)
+	}
+	if h2.FindElement("b") == nil {
+		t.Fatal("inline content must stay inside heading")
+	}
+}
+
+func TestCleanIdempotent(t *testing.T) {
+	doc := htmlparse.Parse(`<body><h1>T<p>a</p></h1><script>s</script><p>  x  y </p></body>`)
+	Clean(doc)
+	once := doc.String()
+	Clean(doc)
+	if doc.String() != once {
+		t.Fatalf("not idempotent:\n%s\n%s", once, doc.String())
+	}
+}
+
+func TestPropertyCleanValidAndTextPreserved(t *testing.T) {
+	pieces := []string{
+		"<p>", "</p>", "<ul>", "<li>item ", "</ul>", "<h1>", "</h1>",
+		"<h2>", "word ", "<b>", "</b>", "<br>", "<script>junk</script>",
+		"<!--c-->", "<table><tr><td>cell", "</table>", "more text ",
+	}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < int(n%24); i++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		doc := htmlparse.Parse(b.String())
+		// Text content outside scripts/comments must survive cleaning.
+		CleanWith(doc, Options{}) // default
+		if doc.Validate() != nil {
+			return false
+		}
+		txt := doc.InnerText()
+		return !strings.Contains(txt, "junk")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package xmlout serializes dom trees as XML documents and parses XML back
+// into dom trees, giving the pipeline a durable on-disk representation for
+// the XML repository the paper's system feeds (§1, §5).
+package xmlout
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"webrev/internal/dom"
+	"webrev/internal/entity"
+)
+
+// Marshal renders the subtree rooted at n as indented XML, with a standard
+// declaration header when n is an element or document.
+func Marshal(n *dom.Node) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	writeNode(&b, n, 0, true)
+	return b.String()
+}
+
+// MarshalTo streams the indented XML rendering of n to w — the
+// allocation-friendly path for writing large repositories. Errors are
+// reported once, after the final flush.
+func MarshalTo(w io.Writer, n *dom.Node) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	writeNode(bw, n, 0, true)
+	return bw.Flush()
+}
+
+// xmlWriter is satisfied by both strings.Builder and bufio.Writer.
+type xmlWriter interface {
+	io.Writer
+	WriteString(string) (int, error)
+	WriteByte(byte) error
+}
+
+// MarshalCompact renders the subtree without the declaration, indentation or
+// newlines — the canonical single-line form used in tests.
+func MarshalCompact(n *dom.Node) string {
+	var b strings.Builder
+	writeNode(&b, n, 0, false)
+	return b.String()
+}
+
+func writeNode(b xmlWriter, n *dom.Node, depth int, indent bool) {
+	pad := ""
+	if indent {
+		pad = strings.Repeat("  ", depth)
+	}
+	switch n.Type {
+	case dom.DocumentNode:
+		for _, c := range n.Children {
+			writeNode(b, c, depth, indent)
+		}
+		return
+	case dom.TextNode:
+		if t := strings.TrimSpace(n.Text); t != "" {
+			b.WriteString(pad)
+			b.WriteString(entity.EscapeText(t))
+			if indent {
+				b.WriteByte('\n')
+			}
+		}
+		return
+	case dom.CommentNode:
+		b.WriteString(pad)
+		b.WriteString("<!--")
+		b.WriteString(strings.ReplaceAll(n.Text, "--", "- -"))
+		b.WriteString("-->")
+		if indent {
+			b.WriteByte('\n')
+		}
+		return
+	case dom.DoctypeNode:
+		b.WriteString(pad)
+		fmt.Fprintf(b, "<!DOCTYPE %s>", n.Text)
+		if indent {
+			b.WriteByte('\n')
+		}
+		return
+	}
+	b.WriteString(pad)
+	b.WriteByte('<')
+	b.WriteString(n.Tag)
+	for _, a := range n.Attrs {
+		fmt.Fprintf(b, ` %s="%s"`, a.Name, entity.EscapeAttr(a.Value))
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>")
+		if indent {
+			b.WriteByte('\n')
+		}
+		return
+	}
+	b.WriteByte('>')
+	if indent {
+		b.WriteByte('\n')
+	}
+	for _, c := range n.Children {
+		writeNode(b, c, depth+1, indent)
+	}
+	b.WriteString(pad)
+	fmt.Fprintf(b, "</%s>", n.Tag)
+	if indent {
+		b.WriteByte('\n')
+	}
+}
+
+// Unmarshal parses an XML document into a dom tree rooted at a DocumentNode.
+// It uses the stdlib decoder, so the input must be well-formed XML (unlike
+// the tolerant HTML parser in internal/htmlparse).
+func Unmarshal(src string) (*dom.Node, error) {
+	return UnmarshalReader(strings.NewReader(src))
+}
+
+// UnmarshalReader parses XML from r into a dom tree.
+func UnmarshalReader(r io.Reader) (*dom.Node, error) {
+	dec := xml.NewDecoder(r)
+	doc := dom.NewDocument()
+	cur := doc
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlout: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := dom.NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				el.SetAttr(a.Name.Local, a.Value)
+			}
+			cur.AppendChild(el)
+			cur = el
+		case xml.EndElement:
+			if cur.Parent == nil {
+				return nil, fmt.Errorf("xmlout: unbalanced end element </%s>", t.Name.Local)
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			if txt := string(t); strings.TrimSpace(txt) != "" {
+				cur.AppendChild(dom.NewText(strings.TrimSpace(txt)))
+			}
+		case xml.Comment:
+			cur.AppendChild(dom.NewComment(string(t)))
+		}
+	}
+	if cur != doc {
+		return nil, fmt.Errorf("xmlout: unclosed element <%s>", cur.Tag)
+	}
+	return doc, nil
+}
+
+// UnmarshalElement parses XML and returns the single root element.
+func UnmarshalElement(src string) (*dom.Node, error) {
+	doc, err := Unmarshal(src)
+	if err != nil {
+		return nil, err
+	}
+	var root *dom.Node
+	for _, c := range doc.Children {
+		if c.Type == dom.ElementNode {
+			if root != nil {
+				return nil, fmt.Errorf("xmlout: multiple root elements")
+			}
+			root = c
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmlout: no root element")
+	}
+	root.Detach()
+	return root, nil
+}

@@ -1,0 +1,73 @@
+// Package webrev reproduces "Reverse Engineering for Web Data: From Visual
+// to Semantic Structures" (Chung, Gertz, Sundaresan; ICDE 2002): a system
+// that converts topic-specific HTML documents into concept-tagged XML,
+// discovers a majority schema over the results, derives a DTD with element
+// ordering and repetition, and maps non-conforming documents into a
+// homogeneous XML repository.
+//
+// The package is a thin facade over the internal packages; see DESIGN.md
+// for the system inventory and README.md for a walkthrough.
+//
+//	pipe, err := webrev.NewResumePipeline()
+//	doc := pipe.Convert("resume-1", html)
+//	repo, err := pipe.Build(sources)
+//	fmt.Print(repo.DTD.Render())
+package webrev
+
+import (
+	"webrev/internal/concept"
+	"webrev/internal/core"
+	"webrev/internal/dom"
+	"webrev/internal/repository"
+	"webrev/internal/xmlout"
+)
+
+// Re-exported pipeline types. Pipeline is the main entry point.
+type (
+	// Pipeline converts, discovers, derives and maps. Build with New or
+	// NewResumePipeline.
+	Pipeline = core.Pipeline
+	// Config parameterizes New.
+	Config = core.Config
+	// Source is one named HTML input for Pipeline.Build.
+	Source = core.Source
+	// Document is one converted input.
+	Document = core.Document
+	// Repository is the full pipeline output.
+	Repository = core.Repository
+	// Concept is one topic concept with its instances.
+	Concept = concept.Concept
+	// Constraints are optional concept constraints guiding the pipeline.
+	Constraints = concept.Constraints
+	// XMLRepository stores DTD-conformant documents, persists them, and
+	// answers label-path queries (see Pipeline.BuildRepository).
+	XMLRepository = repository.Repository
+)
+
+// LoadRepository reads a repository previously written with
+// XMLRepository.Save.
+func LoadRepository(dir string) (*XMLRepository, error) { return repository.Load(dir) }
+
+// Concept roles (see concept.Role).
+const (
+	RoleAny     = concept.RoleAny
+	RoleTitle   = concept.RoleTitle
+	RoleContent = concept.RoleContent
+)
+
+// New assembles a pipeline from a configuration.
+func New(cfg Config) (*Pipeline, error) { return core.New(cfg) }
+
+// NewResumePipeline returns a pipeline preconfigured with the paper's
+// resume-domain knowledge: 24 concepts, 233 instances, and the §4.2
+// constraint classes.
+func NewResumePipeline() (*Pipeline, error) {
+	return core.New(core.Config{
+		Concepts:    concept.ResumeConcepts(),
+		Constraints: concept.ResumeConstraints(),
+		RootName:    "resume",
+	})
+}
+
+// MarshalXML renders a converted document as indented XML text.
+func MarshalXML(n *dom.Node) string { return xmlout.Marshal(n) }

@@ -1,0 +1,77 @@
+package webrev_test
+
+import (
+	"strings"
+	"testing"
+
+	"webrev"
+	"webrev/internal/corpus"
+)
+
+func TestNewResumePipeline(t *testing.T) {
+	pipe, err := webrev.NewResumePipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Set().Len() != 24 {
+		t.Fatalf("concepts = %d", pipe.Set().Len())
+	}
+}
+
+func TestFacadeConvertAndMarshal(t *testing.T) {
+	pipe, err := webrev.NewResumePipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := pipe.Convert("x", `<body><h2>Education</h2><p>University of Nowhere, B.S., June 1996</p></body>`)
+	xml := webrev.MarshalXML(doc.XML)
+	for _, want := range []string{"<resume", "<education", "<institution", "University of Nowhere"} {
+		if !strings.Contains(xml, want) {
+			t.Fatalf("marshal missing %q:\n%s", want, xml)
+		}
+	}
+}
+
+func TestFacadeCustomDomain(t *testing.T) {
+	pipe, err := webrev.New(webrev.Config{
+		Concepts: []webrev.Concept{
+			{Name: "recipe", Role: webrev.RoleTitle, Instances: []string{"ingredients"}},
+			{Name: "quantity", Role: webrev.RoleContent, Instances: []string{"cups", "grams"}},
+		},
+		RootName: "dish",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := pipe.Convert("r", `<body><h2>Ingredients</h2><p>2 cups flour, 100 grams butter</p></body>`)
+	if doc.XML.Tag != "dish" || doc.XML.FindElement("recipe") == nil {
+		t.Fatalf("custom domain conversion: %s", doc.XML.String())
+	}
+	if got := len(doc.XML.FindElements("quantity")); got != 2 {
+		t.Fatalf("quantities = %d", got)
+	}
+}
+
+func TestFacadeFullBuild(t *testing.T) {
+	pipe, err := webrev.NewResumePipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := corpus.New(corpus.Options{Seed: 99})
+	var sources []webrev.Source
+	for _, r := range g.Corpus(25) {
+		sources = append(sources, webrev.Source{Name: r.Name, HTML: r.HTML})
+	}
+	repo, err := pipe.Build(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.DTD.Len() == 0 || len(repo.Conformed) != 25 {
+		t.Fatalf("repo: dtd=%d conformed=%d", repo.DTD.Len(), len(repo.Conformed))
+	}
+	for i, c := range repo.Conformed {
+		if !repo.DTD.Conforms(c) {
+			t.Fatalf("doc %d not conformant", i)
+		}
+	}
+}
