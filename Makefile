@@ -1,0 +1,22 @@
+# Developer / CI targets. `make check` is the full gate: build, vet, the
+# tier-1 test suite, and the race detector over the concurrent packages.
+
+GO ?= go
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The crawler's worker pool, retry/backoff machinery, and fault-injection
+# middleware are concurrency-heavy; they must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+check: build vet test race

@@ -1,61 +1,120 @@
 // Command crawl demonstrates the acquisition path of the paper's system: it
 // serves a generated resume site on localhost, crawls it with the topical
-// crawler, and reports which pages passed the resume filter.
+// crawler, and reports which pages passed the resume filter plus a crawl
+// report (fetched/failed/retried/skipped, error classes, bytes, wall time).
+//
+// The fetch layer is fault tolerant: per-request timeouts, bounded retries
+// with exponential backoff for transient failures, an error budget, and
+// Ctrl-C cancellation. With -fault-rate > 0 the served site is wrapped in
+// the deterministic fault-injection middleware so the robustness machinery
+// can be watched working.
 //
 // Usage:
 //
 //	crawl [-n 30] [-distractors 10] [-seed 1] [-workers 8]
+//	      [-timeout 10s] [-retries 2] [-max-pages 0] [-max-failures 0]
+//	      [-fault-rate 0] [-fault-seed 1]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"time"
 
 	"webrev/internal/corpus"
 	"webrev/internal/crawler"
+	"webrev/internal/crawler/faultinject"
 )
 
+type options struct {
+	n           int
+	distractors int
+	seed        int64
+	workers     int
+	timeout     time.Duration
+	retries     int
+	maxPages    int
+	maxFailures int
+	faultRate   float64
+	faultSeed   int64
+}
+
 func main() {
-	n := flag.Int("n", 30, "resumes on the site")
-	distractors := flag.Int("distractors", 10, "off-topic pages on the site")
-	seed := flag.Int64("seed", 1, "corpus seed")
-	workers := flag.Int("workers", 8, "concurrent fetches")
+	var o options
+	flag.IntVar(&o.n, "n", 30, "resumes on the site")
+	flag.IntVar(&o.distractors, "distractors", 10, "off-topic pages on the site")
+	flag.Int64Var(&o.seed, "seed", 1, "corpus seed")
+	flag.IntVar(&o.workers, "workers", 8, "concurrent fetches (fixed worker pool)")
+	flag.DurationVar(&o.timeout, "timeout", 10*time.Second, "per-request timeout")
+	flag.IntVar(&o.retries, "retries", 2, "retries per URL for transient failures (negative disables)")
+	flag.IntVar(&o.maxPages, "max-pages", 0, "page budget (0 = crawler default)")
+	flag.IntVar(&o.maxFailures, "max-failures", 0, "error budget: stop after this many failed URLs (0 = unlimited)")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient faults on this fraction of paths (demo)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
 	flag.Parse()
 
-	if err := run(*n, *distractors, *seed, *workers); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, distractors int, seed int64, workers int) error {
-	g := corpus.New(corpus.Options{Seed: seed})
+func run(ctx context.Context, o options) error {
+	g := corpus.New(corpus.Options{Seed: o.seed})
 	var off []string
-	for i := 0; i < distractors; i++ {
+	for i := 0; i < o.distractors; i++ {
 		off = append(off, g.Distractor())
 	}
-	site := crawler.BuildSite(g.Corpus(n), off)
+	site := crawler.BuildSite(g.Corpus(o.n), off)
+
+	handler := http.Handler(site.Handler())
+	var inj *faultinject.Injector
+	if o.faultRate > 0 {
+		inj = faultinject.New(handler, faultinject.Config{
+			Seed: o.faultSeed,
+			Rate: o.faultRate,
+		})
+		handler = inj
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	srv := &http.Server{Handler: site.Handler()}
+	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 	defer srv.Close()
 
 	seedURL := "http://" + ln.Addr().String() + "/"
 	fmt.Printf("serving %d pages at %s\n", site.PageCount(), seedURL)
+	if inj != nil {
+		fmt.Printf("injecting transient faults on ~%.0f%% of paths (seed %d)\n",
+			o.faultRate*100, o.faultSeed)
+	}
 
-	c := &crawler.Crawler{Workers: workers, Filter: crawler.ResumeFilter(3)}
-	pages, err := c.Crawl(seedURL)
+	c := &crawler.Crawler{
+		Workers:     o.workers,
+		MaxPages:    o.maxPages,
+		MaxFailures: o.maxFailures,
+		Filter:      crawler.ResumeFilter(3),
+		Fetch: crawler.FetchPolicy{
+			Timeout:    o.timeout,
+			MaxRetries: o.retries,
+		},
+	}
+	pages, rep, err := c.CrawlContext(ctx, seedURL)
 	if err != nil {
-		return err
+		fmt.Printf("crawl ended early: %v\nreport: %s\n", err, rep)
+		return nil
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i].URL < pages[j].URL })
 	onTopic := 0
@@ -65,8 +124,16 @@ func run(n, distractors int, seed int64, workers int) error {
 			mark = "*"
 			onTopic++
 		}
-		fmt.Printf("  %s %s (%d bytes)\n", mark, p.URL, len(p.HTML))
+		trunc := ""
+		if p.Truncated {
+			trunc = " [truncated]"
+		}
+		fmt.Printf("  %s %s (%d bytes)%s\n", mark, p.URL, len(p.HTML), trunc)
 	}
 	fmt.Printf("fetched %d pages, %d on topic (marked *)\n", len(pages), onTopic)
+	fmt.Printf("report: %s\n", rep)
+	if inj != nil {
+		fmt.Printf("faults injected: %d %v\n", inj.Total(), inj.Injected())
+	}
 	return nil
 }

@@ -1,11 +1,46 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func baseOptions() options {
+	return options{
+		n:           5,
+		distractors: 2,
+		seed:        1,
+		workers:     4,
+		timeout:     5 * time.Second,
+		retries:     2,
+	}
+}
 
 func TestRunCrawlDemo(t *testing.T) {
 	// Smoke test: the demo serves a site, crawls it and reports without
 	// error (output goes to stdout, which the test harness captures).
-	if err := run(5, 2, 1, 4); err != nil {
+	if err := run(context.Background(), baseOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCrawlDemoWithFaults(t *testing.T) {
+	o := baseOptions()
+	o.faultRate = 0.3
+	o.faultSeed = 2
+	o.timeout = 500 * time.Millisecond
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCrawlDemoCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A pre-canceled context must not error out the demo; it prints the
+	// partial report instead.
+	if err := run(ctx, baseOptions()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -247,7 +247,7 @@ func cmdSuggest(args []string, w io.Writer) error {
 
 func cmdExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	run := fs.String("run", "E1,E2,E3,E4,E5,E6", "comma-separated experiment ids")
+	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7", "comma-separated experiment ids")
 	docs := fs.Int("docs", 0, "override corpus size (0 = per-experiment default)")
 	seed := fs.Int64("seed", 1, "corpus seed")
 	fs.Parse(args)
@@ -282,6 +282,13 @@ func cmdExperiments(args []string, w io.Writer) error {
 	}
 	if want["E6"] {
 		fmt.Fprintln(w, experiments.RunClassifier(n(80)/2, n(80)/2, *seed).Report())
+	}
+	if want["E7"] {
+		r, err := experiments.RunRobustness(n(40), 0.2, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Report())
 	}
 	return nil
 }

@@ -4,11 +4,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"time"
 
 	"webrev"
 	"webrev/internal/corpus"
@@ -21,12 +25,14 @@ func main() {
 	seed := flag.Int64("seed", 3, "corpus seed")
 	flag.Parse()
 
-	if err := run(*n, *distractors, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *n, *distractors, *seed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(n, distractors int, seed int64) error {
+func run(ctx context.Context, n, distractors int, seed int64) error {
 	// Serve a synthetic site (substitutes for the 2001 Web).
 	g := corpus.New(corpus.Options{Seed: seed})
 	var off []string
@@ -43,19 +49,17 @@ func run(n, distractors int, seed int64) error {
 	go srv.Serve(ln)
 	defer srv.Close()
 
-	// Crawl it with the topical filter.
-	c := &crawler.Crawler{Workers: 8, Filter: crawler.ResumeFilter(3)}
-	pages, err := c.Crawl("http://" + ln.Addr().String() + "/")
+	// Crawl it with the topical filter under a fault-tolerant fetch
+	// policy; Acquire adapts on-topic pages into pipeline sources and
+	// returns the crawl report.
+	c := &crawler.Crawler{Workers: 8, Filter: crawler.ResumeFilter(3),
+		Fetch: crawler.FetchPolicy{Timeout: 10 * time.Second, MaxRetries: 2}}
+	sources, rep, err := webrev.Acquire(ctx, c, "http://"+ln.Addr().String()+"/")
 	if err != nil {
 		return err
 	}
-	var sources []webrev.Source
-	for _, p := range pages {
-		if p.OnTopic {
-			sources = append(sources, webrev.Source{Name: p.URL, HTML: p.HTML})
-		}
-	}
-	fmt.Printf("crawled %d pages, kept %d on-topic resumes\n", len(pages), len(sources))
+	fmt.Printf("crawled %d pages, kept %d on-topic resumes\n", rep.Fetched, len(sources))
+	fmt.Printf("crawl report: %s\n", rep)
 
 	// Feed the pipeline.
 	pipe, err := webrev.NewResumePipeline()

@@ -1,6 +1,7 @@
 package webrev_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -28,20 +29,17 @@ func TestEndToEnd(t *testing.T) {
 	srv := httptest.NewServer(site.Handler())
 	defer srv.Close()
 
-	// 2. Topic-specific crawling.
+	// 2. Topic-specific crawling via the fault-tolerant acquisition path.
 	c := &crawler.Crawler{Workers: 4, Filter: crawler.ResumeFilter(3)}
-	pages, err := c.Crawl(srv.URL + "/")
+	sources, rep, err := webrev.Acquire(context.Background(), c, srv.URL+"/")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sources []webrev.Source
-	for _, p := range pages {
-		if p.OnTopic {
-			sources = append(sources, webrev.Source{Name: p.URL, HTML: p.HTML})
-		}
-	}
 	if len(sources) != 30 {
 		t.Fatalf("topical filter kept %d of 30 resumes", len(sources))
+	}
+	if rep.Fetched != site.PageCount() || rep.Failed != 0 {
+		t.Fatalf("crawl report off for a healthy site: %s", rep)
 	}
 
 	// 3. Conversion, schema discovery, DTD derivation, mapping.

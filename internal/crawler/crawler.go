@@ -4,9 +4,19 @@
 // breadth-first crawler with a keyword-based topical filter, so the
 // acquisition path — fetch, filter, collect — is exercised end to end
 // without live Web access.
+//
+// The crawler is built for an unreliable Web: every fetch runs under a
+// FetchPolicy (per-attempt timeout, bounded retries with exponential
+// backoff and jitter for transient failures), the crawl is cancelable via
+// context.Context, and every crawl returns a Report accounting for each
+// URL — fetched, failed by error class, retried, skipped, or truncated —
+// so degradation is structured rather than silent. The companion package
+// faultinject provides a deterministic fault-injection middleware for
+// testing this machinery.
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"webrev/internal/corpus"
 	"webrev/internal/dom"
@@ -33,8 +44,14 @@ func BuildSite(resumes []*corpus.Resume, distractors []string) *Site {
 	for _, r := range resumes {
 		path := fmt.Sprintf("/resumes/%d.html", r.ID)
 		s.pages[path] = r.HTML
-		l := r.Name[0]
-		byLetter[l] = append(byLetter[l], fmt.Sprintf(`<li><a href="%s">%s</a></li>`, path, r.Name))
+		name := r.Name
+		if name == "" {
+			// Real crawls meet anonymous documents; file them under a
+			// placeholder letter instead of panicking on Name[0].
+			name = fmt.Sprintf("Unnamed %d", r.ID)
+		}
+		l := name[0]
+		byLetter[l] = append(byLetter[l], fmt.Sprintf(`<li><a href="%s">%s</a></li>`, path, name))
 	}
 	var letters []byte
 	for l := range byLetter {
@@ -81,19 +98,33 @@ type Page struct {
 	URL     string
 	HTML    string
 	OnTopic bool
+	// Truncated is set when the body was clipped at
+	// FetchPolicy.MaxBodyBytes.
+	Truncated bool
 }
 
 // Crawler is a breadth-first, level-parallel crawler with a topical filter.
 // The zero value needs at least Filter; other fields default sensibly.
 type Crawler struct {
-	// Client performs fetches (http.DefaultClient when nil).
+	// Client performs fetches (http.DefaultClient when nil); per-attempt
+	// timeouts come from Fetch, not the client.
 	Client *http.Client
-	// Workers bounds per-level fetch concurrency (default 8).
+	// Workers is the fixed worker-pool size for concurrent fetches
+	// (default 8). A level with 10k URLs still uses only Workers
+	// goroutines.
 	Workers int
-	// MaxPages stops the crawl after this many fetched pages (default 10000).
+	// MaxPages stops the crawl after this many successfully fetched pages
+	// (default 10000). Failed fetches do not consume the budget.
 	MaxPages int
 	// MaxDepth bounds link distance from the seed (default 10).
 	MaxDepth int
+	// MaxFailures is the error budget: when this many URLs have failed
+	// permanently the crawl stops and returns partial results with
+	// Report.BudgetExhausted set. Zero or negative means unlimited.
+	MaxFailures int
+	// Fetch is the per-URL fetch policy (timeouts, retries, backoff, body
+	// cap). The zero value selects production defaults.
+	Fetch FetchPolicy
 	// Filter classifies a fetched page as on-topic. Off-topic pages still
 	// have their links followed (index pages are off-topic but lead to
 	// resumes). Nil keeps everything.
@@ -101,8 +132,20 @@ type Crawler struct {
 }
 
 // Crawl fetches breadth-first from seed and returns every fetched page in a
-// deterministic (URL-sorted per level) order.
+// deterministic (URL-sorted per level) order. It is CrawlContext without
+// cancellation, discarding the report.
 func (c *Crawler) Crawl(seed string) ([]Page, error) {
+	pages, _, err := c.CrawlContext(context.Background(), seed)
+	return pages, err
+}
+
+// CrawlContext fetches breadth-first from seed until the frontier is
+// exhausted, MaxPages pages have been fetched, MaxDepth is reached, the
+// error budget is spent, or ctx ends. It always returns the pages fetched
+// so far plus a Report; the error is non-nil only for an unusable seed or
+// a canceled/expired context (partial pages are still returned then).
+func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Report, error) {
+	start := time.Now()
 	client := c.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -119,92 +162,147 @@ func (c *Crawler) Crawl(seed string) ([]Page, error) {
 	if maxDepth <= 0 {
 		maxDepth = 10
 	}
+	policy := c.Fetch.withDefaults()
+	rng := newLockedRand(policy.JitterSeed)
+	rep := &Report{ErrorClasses: make(map[string]int)}
+
 	seedURL, err := url.Parse(seed)
 	if err != nil {
-		return nil, fmt.Errorf("crawler: bad seed: %w", err)
+		rep.Wall = time.Since(start)
+		return nil, rep, fmt.Errorf("crawler: bad seed: %w", err)
 	}
 
 	visited := map[string]bool{seedURL.String(): true}
 	frontier := []string{seedURL.String()}
 	var pages []Page
 
-	for depth := 0; depth <= maxDepth && len(frontier) > 0 && len(pages) < maxPages; depth++ {
-		if len(pages)+len(frontier) > maxPages {
-			frontier = frontier[:maxPages-len(pages)]
-		}
-		results := make([]fetchResult, len(frontier))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i, u := range frontier {
-			wg.Add(1)
-			go func(i int, u string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				results[i] = fetch(client, u)
-			}(i, u)
-		}
-		wg.Wait()
+	// One fixed worker pool serves the whole crawl (the ConvertAll
+	// pattern): a 10k-URL level costs Workers goroutines, not 10k.
+	jobs := make(chan fetchJob)
+	defer close(jobs)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				*j.res = policy.fetch(ctx, client, j.url, rng)
+				j.wg.Done()
+			}
+		}()
+	}
+	// Windows bound how many URLs are in flight between budget checks, so
+	// the page cap and error budget are enforced with tight granularity.
+	window := workers * 4
+	if window < 8 {
+		window = 8
+	}
 
+	stop := false
+	for depth := 0; depth <= maxDepth && len(frontier) > 0 && !stop; depth++ {
 		var next []string
-		for _, res := range results {
-			if res.err != nil {
-				continue // unreachable pages are skipped, not fatal
+		// Fetch the level in budget-sized windows: failed fetches do not
+		// consume the page budget, so the next window picks up the URLs a
+		// naive pre-truncation would have dropped.
+		for len(frontier) > 0 && !stop {
+			if ctx.Err() != nil {
+				rep.Canceled = true
+				stop = true
+				break
 			}
-			p := Page{URL: res.url, HTML: res.body}
-			if c.Filter != nil {
-				p.OnTopic = c.Filter(res.url, res.body)
-			} else {
-				p.OnTopic = true
+			budget := maxPages - len(pages)
+			if budget <= 0 {
+				stop = true
+				break
 			}
-			pages = append(pages, p)
-			base, err := url.Parse(res.url)
-			if err != nil {
-				continue
+			if c.MaxFailures > 0 && rep.Failed >= c.MaxFailures {
+				rep.BudgetExhausted = true
+				stop = true
+				break
 			}
-			for _, link := range ExtractLinks(res.body) {
-				ref, err := url.Parse(link)
+			take := budget
+			if take > len(frontier) {
+				take = len(frontier)
+			}
+			if take > window {
+				take = window
+			}
+			batch := frontier[:take]
+			frontier = frontier[take:]
+			results := make([]fetchResult, len(batch))
+			var wwg sync.WaitGroup
+			wwg.Add(len(batch))
+			for i, u := range batch {
+				jobs <- fetchJob{res: &results[i], url: u, wg: &wwg}
+			}
+			wwg.Wait()
+			for _, res := range results {
+				rep.Retried += res.attempts - 1
+				if res.err != nil {
+					if res.class == ClassCanceled {
+						rep.Canceled = true
+						rep.Skipped++
+						delete(visited, res.url)
+						continue
+					}
+					rep.Failed++
+					rep.ErrorClasses[res.class]++
+					continue
+				}
+				rep.Fetched++
+				rep.Bytes += res.bytes
+				if res.truncated {
+					rep.Truncated++
+				}
+				p := Page{URL: res.url, HTML: res.body, Truncated: res.truncated}
+				if c.Filter != nil {
+					p.OnTopic = c.Filter(res.url, res.body)
+				} else {
+					p.OnTopic = true
+				}
+				pages = append(pages, p)
+				base, err := url.Parse(res.url)
 				if err != nil {
 					continue
 				}
-				abs := base.ResolveReference(ref)
-				if abs.Host != seedURL.Host || abs.Scheme != seedURL.Scheme {
-					continue // stay on site, like the topical crawler
-				}
-				abs.Fragment = ""
-				u := abs.String()
-				if !visited[u] {
-					visited[u] = true
-					next = append(next, u)
+				for _, link := range ExtractLinks(res.body) {
+					ref, err := url.Parse(link)
+					if err != nil {
+						continue
+					}
+					abs := base.ResolveReference(ref)
+					if abs.Host != seedURL.Host || abs.Scheme != seedURL.Scheme {
+						continue // stay on site, like the topical crawler
+					}
+					abs.Fragment = ""
+					u := abs.String()
+					if !visited[u] {
+						visited[u] = true
+						next = append(next, u)
+					}
 				}
 			}
 		}
+		// URLs left in the frontier were never fetched; un-mark them so
+		// they are dropped, not silently "visited", and account for them.
+		for _, u := range frontier {
+			delete(visited, u)
+		}
+		rep.Skipped += len(frontier)
 		sort.Strings(next)
 		frontier = next
 	}
-	return pages, nil
+	// The next level that was never attempted (depth cap or early stop).
+	rep.Skipped += len(frontier)
+	rep.Wall = time.Since(start)
+	if rep.Canceled {
+		return pages, rep, ctx.Err()
+	}
+	return pages, rep, nil
 }
 
-type fetchResult struct {
-	url  string
-	body string
-	err  error
-}
-
-func fetch(client *http.Client, u string) fetchResult {
-	resp, err := client.Get(u)
-	if err != nil {
-		return fetchResult{url: u, err: err}
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fetchResult{url: u, err: fmt.Errorf("status %d", resp.StatusCode)}
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return fetchResult{url: u, err: err}
-	}
-	return fetchResult{url: u, body: string(body)}
+// fetchJob is one unit of work for the crawl's fixed worker pool.
+type fetchJob struct {
+	res *fetchResult
+	url string
+	wg  *sync.WaitGroup
 }
 
 // ExtractLinks returns the href values of anchor elements in document order.

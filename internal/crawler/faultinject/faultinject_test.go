@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+func get(t *testing.T, client *http.Client, url string, timeout time.Duration) (*http.Response, string, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, string(body), err
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	a := New(okHandler("x"), Config{Seed: 11, Rate: 0.3})
+	b := New(okHandler("x"), Config{Seed: 11, Rate: 0.3})
+	c := New(okHandler("x"), Config{Seed: 12, Rate: 0.3})
+	same, diff := 0, 0
+	faulty := 0
+	for i := 0; i < 200; i++ {
+		p := fmt.Sprintf("/page/%d.html", i)
+		ka, kb, kc := a.Decide(p), b.Decide(p), c.Decide(p)
+		if ka != kb {
+			t.Fatalf("same seed, different fault for %s: %v vs %v", p, ka, kb)
+		}
+		if ka != None {
+			faulty++
+		}
+		if ka == kc {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if faulty < 30 || faulty > 90 {
+		t.Fatalf("rate 0.3 faulted %d/200 paths", faulty)
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical fault placement")
+	}
+}
+
+func TestRateZeroInjectsNothing(t *testing.T) {
+	in := New(okHandler("clean"), Config{Seed: 1, Rate: 0})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+	for i := 0; i < 20; i++ {
+		resp, body, err := get(t, srv.Client(), fmt.Sprintf("%s/p%d", srv.URL, i), time.Second)
+		if err != nil || resp.StatusCode != http.StatusOK || body != "clean" {
+			t.Fatalf("request %d: %v %v %q", i, err, resp, body)
+		}
+	}
+	if in.Total() != 0 {
+		t.Fatalf("injected %d faults at rate 0", in.Total())
+	}
+}
+
+// Each fault kind must actually fail the first request and recover on the
+// next (FaultsPerPath 1), which is what makes them transient.
+func TestEachKindFailsThenRecovers(t *testing.T) {
+	for _, kind := range TransientKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			in := New(okHandler("payload-big-enough-to-truncate"), Config{
+				Seed:      1,
+				Rate:      1, // every path faulty
+				Kinds:     []Kind{kind},
+				SlowDelay: 10 * time.Millisecond,
+			})
+			srv := httptest.NewServer(in)
+			defer srv.Close()
+
+			resp, body, err := get(t, srv.Client(), srv.URL+"/a.html", 300*time.Millisecond)
+			switch kind {
+			case Status500:
+				if err != nil || resp.StatusCode != http.StatusInternalServerError {
+					t.Fatalf("want 500, got %v %v", resp, err)
+				}
+			case Status429:
+				if err != nil || resp.StatusCode != http.StatusTooManyRequests {
+					t.Fatalf("want 429, got %v %v", resp, err)
+				}
+			case Reset, Hang:
+				if err == nil {
+					t.Fatalf("want transport error, got %v %q", resp, body)
+				}
+			case Truncate:
+				if err == nil {
+					t.Fatalf("want body read error, got %q", body)
+				}
+			case Slow:
+				if err != nil || body != "payload-big-enough-to-truncate" {
+					t.Fatalf("slow should still serve: %v %q", err, body)
+				}
+			}
+			if in.Total() != 1 {
+				t.Fatalf("injected %d, want 1", in.Total())
+			}
+
+			// Second request: the fault has cleared.
+			resp, body, err = get(t, srv.Client(), srv.URL+"/a.html", time.Second)
+			if err != nil || resp.StatusCode != http.StatusOK || body != "payload-big-enough-to-truncate" {
+				t.Fatalf("path did not recover: %v %v %q", err, resp, body)
+			}
+			if in.Total() != 1 {
+				t.Fatalf("fault injected again after recovery: %d", in.Total())
+			}
+		})
+	}
+}
+
+func TestPermanentFault(t *testing.T) {
+	in := New(okHandler("x"), Config{
+		Seed: 1, Rate: 1, Kinds: []Kind{Status500}, FaultsPerPath: -1,
+	})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, _, err := get(t, srv.Client(), srv.URL+"/a.html", time.Second)
+		if err != nil || resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d: want persistent 500, got %v %v", i, resp, err)
+		}
+	}
+	if in.Total() != 3 {
+		t.Fatalf("injected %d, want 3", in.Total())
+	}
+}
+
+func TestHangRespectsClientTimeout(t *testing.T) {
+	in := New(okHandler("x"), Config{Seed: 1, Rate: 1, Kinds: []Kind{Hang}})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+	start := time.Now()
+	_, _, err := get(t, srv.Client(), srv.URL+"/h.html", 80*time.Millisecond)
+	if err == nil {
+		t.Fatal("hang served a response")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hang did not release on client disconnect: %v", elapsed)
+	}
+}
+
+func TestInjectedTally(t *testing.T) {
+	in := New(okHandler("x"), Config{Seed: 1, Rate: 1, Kinds: []Kind{Status500, Status429}})
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		get(t, srv.Client(), fmt.Sprintf("%s/p%d", srv.URL, i), time.Second)
+	}
+	tally := in.Injected()
+	if tally[Status500]+tally[Status429] != 10 || in.Total() != 10 {
+		t.Fatalf("tally = %v, total %d", tally, in.Total())
+	}
+}

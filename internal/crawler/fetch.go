@@ -1,0 +1,233 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Error classes used as keys in Report.ErrorClasses and for retry
+// classification. Transient classes (network, timeout, body, http-5xx,
+// http-429) are retried under FetchPolicy; permanent classes are not.
+const (
+	ClassNetwork  = "network"  // dial/reset/refused and other transport errors
+	ClassTimeout  = "timeout"  // per-attempt deadline exceeded or net timeout
+	ClassBody     = "body"     // response body read failed mid-stream
+	ClassHTTP4xx  = "http-4xx" // permanent client error (404, 410, ...)
+	ClassHTTP5xx  = "http-5xx" // transient server error
+	ClassHTTP429  = "http-429" // rate limited
+	ClassCanceled = "canceled" // the crawl's own context was canceled
+)
+
+// Retryable reports whether an error class is transient, i.e. worth
+// retrying under the fetch policy.
+func Retryable(class string) bool {
+	switch class {
+	case ClassNetwork, ClassTimeout, ClassBody, ClassHTTP5xx, ClassHTTP429:
+		return true
+	}
+	return false
+}
+
+// FetchPolicy governs how each URL is fetched: a per-attempt timeout,
+// bounded retries with exponential backoff plus jitter for transient
+// failures, and a body-size cap. The zero value selects production
+// defaults; a hung server costs at most Timeout per attempt instead of
+// stalling the crawl forever.
+type FetchPolicy struct {
+	// Timeout bounds one fetch attempt end to end, including reading the
+	// body (default 10s).
+	Timeout time.Duration
+	// MaxRetries is how many times a transient failure (see Retryable) is
+	// retried after the first attempt (default 2). Permanent failures —
+	// 404s, non-429 4xx — are never retried. Negative disables retries.
+	MaxRetries int
+	// BackoffBase is the delay before the first retry; it doubles each
+	// further attempt (default 100ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay (default 2s).
+	BackoffMax time.Duration
+	// MaxBodyBytes caps how much of a response body is kept (default
+	// 1MiB). Larger bodies are clipped and flagged as truncated in the
+	// fetch result and crawl report, never silently.
+	MaxBodyBytes int64
+	// JitterSeed seeds the deterministic jitter source added to backoff
+	// delays (default 1). Crawls with the same seed and the same fetch
+	// outcomes back off identically, which keeps tests reproducible.
+	JitterSeed int64
+}
+
+func (p FetchPolicy) withDefaults() FetchPolicy {
+	if p.Timeout <= 0 {
+		p.Timeout = 10 * time.Second
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 2
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 100 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 2 * time.Second
+	}
+	if p.MaxBodyBytes <= 0 {
+		p.MaxBodyBytes = 1 << 20
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 1
+	}
+	return p
+}
+
+// fetchResult is the outcome of fetching one URL, successful or not.
+type fetchResult struct {
+	url       string
+	body      string
+	bytes     int64
+	truncated bool
+	attempts  int
+	err       error
+	class     string // error class, set when err != nil
+}
+
+// fetch retrieves u under the policy: up to 1+MaxRetries attempts, each
+// bounded by Timeout, with backoff between attempts for transient errors.
+// The policy must already have defaults applied.
+func (p FetchPolicy) fetch(ctx context.Context, client *http.Client, u string, rng *lockedRand) fetchResult {
+	res := fetchResult{url: u}
+	for attempt := 0; ; attempt++ {
+		res.attempts = attempt + 1
+		body, n, truncated, class, err := p.attempt(ctx, client, u)
+		if err == nil {
+			res.body, res.bytes, res.truncated = body, n, truncated
+			res.err, res.class = nil, ""
+			return res
+		}
+		if ctx.Err() != nil {
+			// The crawl itself was canceled or timed out; don't misreport
+			// that as a fetch failure of this URL.
+			res.err, res.class = ctx.Err(), ClassCanceled
+			return res
+		}
+		res.err, res.class = err, class
+		if attempt >= p.MaxRetries || !Retryable(class) {
+			return res
+		}
+		if !sleepCtx(ctx, p.backoff(attempt, rng)) {
+			res.err, res.class = ctx.Err(), ClassCanceled
+			return res
+		}
+	}
+}
+
+// attempt performs a single bounded request and classifies any error.
+func (p FetchPolicy) attempt(ctx context.Context, client *http.Client, u string) (body string, n int64, truncated bool, class string, err error) {
+	actx, cancel := context.WithTimeout(ctx, p.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, u, nil)
+	if err != nil {
+		return "", 0, false, ClassNetwork, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, false, classifyTransport(err), err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return "", 0, false, classifyStatus(resp.StatusCode),
+			fmt.Errorf("status %d", resp.StatusCode)
+	}
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, p.MaxBodyBytes+1))
+	if err != nil {
+		if c := classifyTransport(err); c == ClassTimeout {
+			return "", 0, false, c, fmt.Errorf("reading body: %w", err)
+		}
+		return "", 0, false, ClassBody, fmt.Errorf("reading body: %w", err)
+	}
+	if int64(len(buf)) > p.MaxBodyBytes {
+		buf = buf[:p.MaxBodyBytes]
+		truncated = true
+	}
+	return string(buf), int64(len(buf)), truncated, "", nil
+}
+
+func classifyStatus(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return ClassHTTP429
+	case code >= 500:
+		return ClassHTTP5xx
+	default:
+		return ClassHTTP4xx
+	}
+}
+
+func classifyTransport(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ClassTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return ClassCanceled
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ClassTimeout
+	}
+	return ClassNetwork
+}
+
+// backoff returns the delay before retry number attempt+1: exponential in
+// the attempt, capped at BackoffMax, with up to +50% deterministic jitter.
+func (p FetchPolicy) backoff(attempt int, rng *lockedRand) time.Duration {
+	d := p.BackoffBase << uint(attempt)
+	if d <= 0 || d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	if rng != nil {
+		d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	}
+	return d
+}
+
+// sleepCtx sleeps d, returning false early if ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// lockedRand is a mutex-guarded rand.Rand shared by concurrent fetch
+// workers for backoff jitter.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}

@@ -1,0 +1,220 @@
+package crawler
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testPolicy keeps retry timing negligible in tests.
+func testPolicy() FetchPolicy {
+	return FetchPolicy{
+		Timeout:     2 * time.Second,
+		MaxRetries:  2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+	}.withDefaults()
+}
+
+func TestFetchRetriesTransient5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	if res.err != nil {
+		t.Fatalf("fetch failed: %v (class %s)", res.err, res.class)
+	}
+	if res.body != "ok" || res.attempts != 3 {
+		t.Fatalf("body %q attempts %d, want ok/3", res.body, res.attempts)
+	}
+}
+
+func TestFetchRetries429(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	if res.err != nil || res.attempts != 2 {
+		t.Fatalf("err %v attempts %d", res.err, res.attempts)
+	}
+}
+
+func TestFetchDoesNotRetryPermanent4xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	if res.err == nil || res.class != ClassHTTP4xx {
+		t.Fatalf("err %v class %s, want http-4xx", res.err, res.class)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried %d times", calls.Load()-1)
+	}
+}
+
+func TestFetchGivesUpAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	p := testPolicy()
+	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	if res.err == nil || res.class != ClassHTTP5xx {
+		t.Fatalf("err %v class %s, want http-5xx", res.err, res.class)
+	}
+	if got, want := calls.Load(), int32(p.MaxRetries+1); got != want {
+		t.Fatalf("attempts %d, want %d", got, want)
+	}
+}
+
+func TestFetchTimeoutOnHangingServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+	}))
+	defer srv.Close()
+	p := FetchPolicy{Timeout: 50 * time.Millisecond, MaxRetries: 1,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond}.withDefaults()
+	start := time.Now()
+	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	if res.err == nil || res.class != ClassTimeout {
+		t.Fatalf("err %v class %s, want timeout", res.err, res.class)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hanging fetch took %v, budget ~2×50ms", elapsed)
+	}
+	if res.attempts != 2 {
+		t.Fatalf("attempts %d, want 2", res.attempts)
+	}
+}
+
+func TestFetchNetworkErrorClass(t *testing.T) {
+	// A closed server: connection refused is a retryable network error.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	u := srv.URL
+	srv.Close()
+	p := testPolicy()
+	res := p.fetch(context.Background(), http.DefaultClient, u, newLockedRand(1))
+	if res.err == nil || res.class != ClassNetwork {
+		t.Fatalf("err %v class %s, want network", res.err, res.class)
+	}
+	if res.attempts != p.MaxRetries+1 {
+		t.Fatalf("network error not retried: attempts %d", res.attempts)
+	}
+}
+
+func TestFetchTruncatesOversizedBody(t *testing.T) {
+	big := strings.Repeat("x", 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(big))
+	}))
+	defer srv.Close()
+	p := testPolicy()
+	p.MaxBodyBytes = 1024
+	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if !res.truncated || len(res.body) != 1024 {
+		t.Fatalf("truncated=%v len=%d, want clipped to 1024 and flagged", res.truncated, len(res.body))
+	}
+
+	// Under the cap: not flagged.
+	p.MaxBodyBytes = int64(len(big))
+	res = p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	if res.err != nil || res.truncated {
+		t.Fatalf("err %v truncated=%v for body exactly at cap", res.err, res.truncated)
+	}
+}
+
+func TestFetchRetriesTruncatedBodyRead(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Content-Length", strconv.Itoa(100))
+			w.Write([]byte("only-half-of-it")) // under-write → client read fails
+			return
+		}
+		w.Write([]byte("complete"))
+	}))
+	defer srv.Close()
+	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	if res.err != nil {
+		t.Fatalf("fetch failed: %v (class %s)", res.err, res.class)
+	}
+	if res.body != "complete" || res.attempts < 2 {
+		t.Fatalf("body %q attempts %d", res.body, res.attempts)
+	}
+}
+
+func TestFetchCanceledContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res := testPolicy().fetch(ctx, srv.Client(), srv.URL, newLockedRand(1))
+	if res.class != ClassCanceled {
+		t.Fatalf("class %s, want canceled", res.class)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := FetchPolicy{BackoffBase: 10 * time.Millisecond, BackoffMax: 40 * time.Millisecond}.withDefaults()
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 6; attempt++ {
+		d := p.backoff(attempt, nil)
+		if d < prev/2 {
+			t.Fatalf("backoff shrank: attempt %d = %v (prev %v)", attempt, d, prev)
+		}
+		if d > p.BackoffMax {
+			t.Fatalf("backoff %v exceeds cap %v", d, p.BackoffMax)
+		}
+		prev = d
+	}
+	// Jitter stays within +50%.
+	rng := newLockedRand(7)
+	for i := 0; i < 100; i++ {
+		if d := p.backoff(1, rng); d > p.BackoffBase*3 {
+			t.Fatalf("jittered backoff %v out of range", d)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	for _, c := range []string{ClassNetwork, ClassTimeout, ClassBody, ClassHTTP5xx, ClassHTTP429} {
+		if !Retryable(c) {
+			t.Errorf("%s should be retryable", c)
+		}
+	}
+	for _, c := range []string{ClassHTTP4xx, ClassCanceled, "other"} {
+		if Retryable(c) {
+			t.Errorf("%s should not be retryable", c)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package crawler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is the structured account of one crawl: what was fetched, what
+// failed and why, and how the failure policy was exercised. A crawl that
+// degrades — error budget exhausted, context canceled, page cap hit —
+// still returns the pages it got plus a Report, so no loss is silent.
+type Report struct {
+	// Fetched counts pages retrieved successfully (after any retries).
+	Fetched int
+	// Failed counts URLs that failed permanently: a non-retryable error,
+	// or a transient one that survived every retry.
+	Failed int
+	// Retried counts retry attempts across all URLs (attempts beyond each
+	// URL's first).
+	Retried int
+	// Skipped counts URLs discovered but never fetched because the crawl
+	// stopped early (page cap, error budget, depth cap, cancellation).
+	Skipped int
+	// Truncated counts pages whose bodies were clipped at
+	// FetchPolicy.MaxBodyBytes.
+	Truncated int
+	// Bytes is the total body bytes kept.
+	Bytes int64
+	// Wall is the crawl's wall-clock duration.
+	Wall time.Duration
+	// ErrorClasses tallies permanent failures by error class (ClassNetwork,
+	// ClassTimeout, ClassHTTP5xx, ...).
+	ErrorClasses map[string]int
+	// BudgetExhausted is set when the crawl stopped because Failed reached
+	// Crawler.MaxFailures.
+	BudgetExhausted bool
+	// Canceled is set when the crawl's context ended before completion.
+	Canceled bool
+}
+
+// String renders the report as a compact human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fetched %d, failed %d, retried %d, skipped %d",
+		r.Fetched, r.Failed, r.Retried, r.Skipped)
+	if r.Truncated > 0 {
+		fmt.Fprintf(&b, ", truncated %d", r.Truncated)
+	}
+	fmt.Fprintf(&b, "; %d bytes in %v", r.Bytes, r.Wall.Round(time.Millisecond))
+	if len(r.ErrorClasses) > 0 {
+		classes := make([]string, 0, len(r.ErrorClasses))
+		for c := range r.ErrorClasses {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		parts := make([]string, len(classes))
+		for i, c := range classes {
+			parts[i] = fmt.Sprintf("%s:%d", c, r.ErrorClasses[c])
+		}
+		fmt.Fprintf(&b, "; errors [%s]", strings.Join(parts, " "))
+	}
+	if r.BudgetExhausted {
+		b.WriteString("; error budget exhausted")
+	}
+	if r.Canceled {
+		b.WriteString("; canceled")
+	}
+	return b.String()
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRobustness(t *testing.T) {
+	r, err := RunRobustness(15, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CleanPages != r.SitePages {
+		t.Fatalf("clean crawl fetched %d of %d pages", r.CleanPages, r.SitePages)
+	}
+	if r.Injected == 0 {
+		t.Fatal("no faults injected; experiment is vacuous")
+	}
+	if !r.FullRecovery {
+		t.Fatalf("faulty crawl recovered %d of %d pages (%d failed)",
+			r.FaultyPages, r.CleanPages, r.Failed)
+	}
+	if r.Retries == 0 {
+		t.Fatal("faults injected but no retries recorded")
+	}
+	rep := r.Report()
+	for _, want := range []string{"E7", "full recovery: true", "faults injected"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -15,8 +15,11 @@
 package webrev
 
 import (
+	"context"
+
 	"webrev/internal/concept"
 	"webrev/internal/core"
+	"webrev/internal/crawler"
 	"webrev/internal/dom"
 	"webrev/internal/repository"
 	"webrev/internal/xmlout"
@@ -42,7 +45,22 @@ type (
 	// XMLRepository stores DTD-conformant documents, persists them, and
 	// answers label-path queries (see Pipeline.BuildRepository).
 	XMLRepository = repository.Repository
+	// Crawler is the fault-tolerant topical crawler of the acquisition
+	// path (retries, timeouts, cancellation; see internal/crawler).
+	Crawler = crawler.Crawler
+	// FetchPolicy governs the crawler's per-URL timeouts, retries and
+	// backoff.
+	FetchPolicy = crawler.FetchPolicy
+	// CrawlReport accounts for every URL a crawl touched: fetched, failed
+	// by error class, retried, skipped, truncated.
+	CrawlReport = crawler.Report
 )
+
+// Acquire crawls from seed under ctx with the given crawler and adapts the
+// on-topic pages into pipeline Sources, alongside the crawl's report.
+func Acquire(ctx context.Context, c *Crawler, seed string) ([]Source, *CrawlReport, error) {
+	return core.Acquire(ctx, c, seed)
+}
 
 // LoadRepository reads a repository previously written with
 // XMLRepository.Save.
