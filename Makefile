@@ -1,9 +1,13 @@
 # Developer / CI targets. `make check` is the full gate: build, vet, the
-# tier-1 test suite, and the race detector over the concurrent packages.
+# tier-1 test suite, the race detector over the concurrent packages, and a
+# short run of every fuzz target.
 
 GO ?= go
 
-.PHONY: build test vet race check
+# Per-target budget for `make fuzz` (and the fuzz leg of `make check`).
+FUZZTIME ?= 5s
+
+.PHONY: build test vet race fuzz bench check
 
 build:
 	$(GO) build ./...
@@ -14,9 +18,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The crawler's worker pool, retry/backoff machinery, and fault-injection
-# middleware are concurrency-heavy; they must stay race-clean.
+# The crawler's worker pool, retry/backoff machinery, parallel document
+# mapping, and fault-injection middleware are concurrency-heavy; they must
+# stay race-clean.
 race:
 	$(GO) test -race ./...
 
-check: build vet test race
+# Native fuzz targets: the parser, the cleaner and the full converter must
+# accept arbitrary bytes without panicking. Go allows one -fuzz target per
+# invocation, so each gets its own short run.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzHTMLParse -fuzztime $(FUZZTIME) ./internal/htmlparse/
+	$(GO) test -run '^$$' -fuzz FuzzTidy -fuzztime $(FUZZTIME) ./internal/tidy/
+	$(GO) test -run '^$$' -fuzz FuzzConvert -fuzztime $(FUZZTIME) ./internal/convert/
+
+# E1-E5 micro/macro benchmarks plus a metrics snapshot of the full pipeline
+# (experiment E8) written through the observability layer.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+	$(GO) run ./cmd/webrev experiments -run E8 -docs 100 -seed 1 -metrics BENCH_pipeline.json
+
+check: build vet test race fuzz

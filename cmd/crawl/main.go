@@ -14,6 +14,12 @@
 //	crawl [-n 30] [-distractors 10] [-seed 1] [-workers 8]
 //	      [-timeout 10s] [-retries 2] [-max-pages 0] [-max-failures 0]
 //	      [-fault-rate 0] [-fault-seed 1]
+//	      [-metrics snap.json] [-pprof addr]
+//
+// -metrics FILE writes a JSON snapshot of the crawl's stage timing and
+// counters (the same format the pipeline's observability layer emits);
+// -pprof ADDR serves /debug/pprof, /debug/vars and /metrics on ADDR while
+// the crawl runs.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"webrev/internal/corpus"
 	"webrev/internal/crawler"
 	"webrev/internal/crawler/faultinject"
+	"webrev/internal/obs"
 )
 
 type options struct {
@@ -43,6 +50,8 @@ type options struct {
 	maxFailures int
 	faultRate   float64
 	faultSeed   int64
+	metricsOut  string
+	pprofAddr   string
 }
 
 func main() {
@@ -57,6 +66,8 @@ func main() {
 	flag.IntVar(&o.maxFailures, "max-failures", 0, "error budget: stop after this many failed URLs (0 = unlimited)")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient faults on this fraction of paths (demo)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
+	flag.StringVar(&o.metricsOut, "metrics", "", "write a JSON metrics snapshot of the crawl to this file")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve /debug/pprof, /debug/vars and /metrics on this address during the crawl")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -101,6 +112,20 @@ func run(ctx context.Context, o options) error {
 			o.faultRate*100, o.faultSeed)
 	}
 
+	coll := obs.NewCollector()
+	var tr obs.Tracer
+	if o.metricsOut != "" || o.pprofAddr != "" {
+		tr = coll
+	}
+	if o.pprofAddr != "" {
+		dbg, err := obs.ServeDebug(o.pprofAddr, coll)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint at http://%s/debug/pprof/ (metrics at /metrics)\n", dbg.Addr)
+	}
+
 	c := &crawler.Crawler{
 		Workers:     o.workers,
 		MaxPages:    o.maxPages,
@@ -110,11 +135,22 @@ func run(ctx context.Context, o options) error {
 			Timeout:    o.timeout,
 			MaxRetries: o.retries,
 		},
+		Tracer: tr,
+	}
+	writeMetrics := func() error {
+		if o.metricsOut == "" {
+			return nil
+		}
+		if err := coll.Snapshot().WriteFile(o.metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", o.metricsOut)
+		return nil
 	}
 	pages, rep, err := c.CrawlContext(ctx, seedURL)
 	if err != nil {
 		fmt.Printf("crawl ended early: %v\nreport: %s\n", err, rep)
-		return nil
+		return writeMetrics()
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i].URL < pages[j].URL })
 	onTopic := 0
@@ -132,8 +168,11 @@ func run(ctx context.Context, o options) error {
 	}
 	fmt.Printf("fetched %d pages, %d on topic (marked *)\n", len(pages), onTopic)
 	fmt.Printf("report: %s\n", rep)
+	if tr != nil {
+		fmt.Print(coll.Snapshot().Summary())
+	}
 	if inj != nil {
 		fmt.Printf("faults injected: %d %v\n", inj.Total(), inj.Injected())
 	}
-	return nil
+	return writeMetrics()
 }

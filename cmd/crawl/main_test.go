@@ -2,8 +2,12 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"webrev/internal/obs"
 )
 
 func baseOptions() options {
@@ -22,6 +26,29 @@ func TestRunCrawlDemo(t *testing.T) {
 	// error (output goes to stdout, which the test harness captures).
 	if err := run(context.Background(), baseOptions()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCrawlDemoMetrics(t *testing.T) {
+	o := baseOptions()
+	o.metricsOut = filepath.Join(t.TempDir(), "crawl.json")
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(o.metricsOut)
+	if err != nil {
+		t.Fatalf("metrics snapshot not written: %v", err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stages[obs.StageCrawl].Count != 1 {
+		t.Fatalf("crawl stage not recorded: %v", snap.Stages)
+	}
+	if snap.Counters[obs.CtrCrawlFetched] == 0 {
+		t.Fatalf("crawl.fetched counter empty: %v", snap.Counters)
 	}
 }
 

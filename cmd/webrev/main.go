@@ -7,8 +7,13 @@
 //	webrev convert  [-root resume] file.html...        # HTML -> XML on stdout
 //	webrev schema   [-sup 0.5] [-ratio 0.1] file.html...
 //	webrev dtd      [-sup 0.5] [-ratio 0.1] file.html...
-//	webrev build    [-out dir] file.html...            # full repository
-//	webrev experiments [-run E1,...] [-docs N] [-seed N]
+//	webrev build    [-out dir] [-metrics snap.json] [-pprof addr] file.html...
+//	webrev experiments [-run E1,...] [-docs N] [-seed N] [-metrics snap.json] [-pprof addr]
+//
+// build and experiments take observability flags: -metrics FILE writes a
+// JSON snapshot of per-stage timings and counters (the BENCH_pipeline.json
+// format), and -pprof ADDR serves /debug/pprof, /debug/vars and /metrics on
+// ADDR for the duration of the run.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"webrev/internal/discover"
 	"webrev/internal/dom"
 	"webrev/internal/experiments"
+	"webrev/internal/obs"
 	"webrev/internal/repository"
 	"webrev/internal/xmlout"
 )
@@ -71,18 +77,61 @@ commands:
   build        full pipeline: convert, discover, derive, conform
   query        evaluate a label-path query against a built repository
   suggest      propose new concept instances from unidentified text
-  experiments  regenerate the paper's evaluation (E1-E6)
+  experiments  regenerate the paper's evaluation (E1-E8)
+
+build and experiments accept -metrics FILE (JSON stage-metrics snapshot)
+and -pprof ADDR (live /debug/pprof + /metrics endpoint).
 `)
 }
 
 func newPipeline(root string, sup, ratio float64) (*core.Pipeline, error) {
+	return newTracedPipeline(root, sup, ratio, nil)
+}
+
+func newTracedPipeline(root string, sup, ratio float64, tr obs.Tracer) (*core.Pipeline, error) {
 	return core.New(core.Config{
 		Concepts:       concept.ResumeConcepts(),
 		Constraints:    concept.ResumeConstraints(),
 		RootName:       root,
 		SupThreshold:   sup,
 		RatioThreshold: ratio,
+		Tracer:         tr,
 	})
+}
+
+// obsFlags registers the shared observability flags on a command's flag
+// set; finish starts the optional debug endpoint, and its returned func
+// writes the snapshot file once the run is done.
+func obsFlags(fs *flag.FlagSet) (metricsOut, pprofAddr *string) {
+	metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot (stage timings + counters) to this file")
+	pprofAddr = fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /metrics on this address during the run")
+	return metricsOut, pprofAddr
+}
+
+// startObs wires a collector to the optional pprof endpoint and returns a
+// finish func that writes the metrics file (when requested) and stops the
+// endpoint.
+func startObs(coll *obs.Collector, metricsOut, pprofAddr string, w io.Writer) (finish func() error, err error) {
+	var dbg *obs.DebugServer
+	if pprofAddr != "" {
+		dbg, err = obs.ServeDebug(pprofAddr, coll)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "debug endpoint at http://%s/debug/pprof/ (metrics at /metrics)\n", dbg.Addr)
+	}
+	return func() error {
+		if dbg != nil {
+			dbg.Close()
+		}
+		if metricsOut != "" {
+			if err := coll.Snapshot().WriteFile(metricsOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote metrics snapshot to %s\n", metricsOut)
+		}
+		return nil
+	}, nil
 }
 
 func readSources(paths []string) ([]core.Source, error) {
@@ -155,8 +204,18 @@ func cmdBuild(args []string, w io.Writer) error {
 	sup := fs.Float64("sup", 0.5, "support threshold")
 	ratio := fs.Float64("ratio", 0.1, "support-ratio threshold")
 	out := fs.String("out", "", "directory for the conformed XML repository")
+	metricsOut, pprofAddr := obsFlags(fs)
 	fs.Parse(args)
-	p, err := newPipeline(*root, *sup, *ratio)
+	coll := obs.NewCollector()
+	var tr obs.Tracer
+	if *metricsOut != "" || *pprofAddr != "" {
+		tr = coll
+	}
+	p, err := newTracedPipeline(*root, *sup, *ratio, tr)
+	if err != nil {
+		return err
+	}
+	finish, err := startObs(coll, *metricsOut, *pprofAddr, w)
 	if err != nil {
 		return err
 	}
@@ -170,11 +229,14 @@ func cmdBuild(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "converted %d documents; schema %d paths; DTD %d elements\n",
 		len(repo.Docs), len(repo.Schema.Paths()), repo.DTD.Len())
+	if tr != nil {
+		fmt.Fprint(w, coll.Snapshot().Summary())
+	}
 	fmt.Fprintf(w, "pre-mapping conformance %.1f%%, total mapping cost %d edits\n",
 		repo.ConformanceRate()*100, repo.TotalMapCost())
 	fmt.Fprint(w, repo.DTD.Render())
 	if *out == "" {
-		return nil
+		return finish()
 	}
 	stored := repository.New(repo.DTD)
 	for i, c := range repo.Conformed {
@@ -186,7 +248,7 @@ func cmdBuild(args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %d XML documents and schema.dtd to %s\n", stored.Len(), *out)
-	return nil
+	return finish()
 }
 
 func cmdQuery(args []string, w io.Writer) error {
@@ -247,9 +309,10 @@ func cmdSuggest(args []string, w io.Writer) error {
 
 func cmdExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7", "comma-separated experiment ids")
+	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8", "comma-separated experiment ids")
 	docs := fs.Int("docs", 0, "override corpus size (0 = per-experiment default)")
 	seed := fs.Int64("seed", 1, "corpus seed")
+	metricsOut, pprofAddr := obsFlags(fs)
 	fs.Parse(args)
 	want := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
@@ -289,6 +352,21 @@ func cmdExperiments(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(w, r.Report())
+	}
+	if want["E8"] {
+		coll := obs.NewCollector()
+		finish, err := startObs(coll, *metricsOut, *pprofAddr, w)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.RunStageMetrics(n(100), *seed, coll)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Report())
+		if err := finish(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"webrev/internal/obs"
 )
 
 // writeResume writes a small well-formed resume file and returns its path.
@@ -101,6 +103,54 @@ func TestCmdBuildAndQuery(t *testing.T) {
 	}
 	if err := cmdQuery([]string{"-repo", repoDir, "bad query"}, &qOut); err == nil {
 		t.Fatal("bad query should error")
+	}
+}
+
+func TestCmdBuildMetricsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	files := []string{
+		writeResume(t, dir, "a.html"),
+		writeResume(t, dir, "b.html"),
+	}
+	snapPath := filepath.Join(dir, "snap.json")
+	var out strings.Builder
+	if err := cmdBuild(append([]string{"-metrics", snapPath}, files...), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stage") || !strings.Contains(out.String(), "pipeline.convert") {
+		t.Fatalf("build with -metrics did not print the stage summary:\n%s", out.String())
+	}
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range obs.PipelineStages {
+		if snap.Stages[stage].Count == 0 {
+			t.Fatalf("snapshot missing stage %q: %v", stage, snap.Stages)
+		}
+	}
+	if snap.Counters[obs.CtrDocsConverted] != 2 {
+		t.Fatalf("docs.converted = %d, want 2", snap.Counters[obs.CtrDocsConverted])
+	}
+}
+
+func TestCmdExperimentsE8Metrics(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	err := cmdExperiments([]string{"-run", "E8", "-docs", "8", "-seed", "3", "-metrics", snapPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E8 —") || !strings.Contains(out.String(), "counters:") {
+		t.Fatalf("E8 output:\n%s", out.String())
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"webrev/internal/concept"
 	"webrev/internal/dom"
 	"webrev/internal/htmlparse"
+	"webrev/internal/obs"
 	"webrev/internal/tidy"
 )
 
@@ -67,6 +68,10 @@ type Options struct {
 	// text rules and consolidation run, so visual sectioning is never
 	// recovered into nesting.
 	SkipGrouping bool
+	// Tracer receives sub-spans (convert.tokenize, convert.classify,
+	// convert.group, convert.consolidate) and token/concept counters. Nil
+	// means the no-op tracer: conversion pays nothing for instrumentation.
+	Tracer obs.Tracer
 }
 
 // DefaultGroupTags returns the paper's group-tag annotation with weights:
@@ -101,8 +106,18 @@ func (o Options) applyDefaults() Options {
 	if o.RootName == "" {
 		o.RootName = "document"
 	}
+	o.Tracer = obs.OrNop(o.Tracer)
 	return o
 }
+
+// Sub-span names of one document conversion, recorded on Options.Tracer.
+const (
+	SpanParse       = "convert.parse"       // HTML parsing + tidy cleansing
+	SpanTokenize    = "convert.tokenize"    // tokenization + concept instance rules
+	SpanClassify    = "convert.classify"    // Bayes classifier invocations
+	SpanGroup       = "convert.group"       // grouping rule
+	SpanConsolidate = "convert.consolidate" // consolidation rule
+)
 
 // Stats reports conversion measurements, including the identified /
 // unidentifiable token ratio the paper recommends as user feedback (§2.3.1).
@@ -137,10 +152,12 @@ func New(set *concept.Set, opts Options) *Converter {
 // Convert parses, cleans and restructures the HTML source into an XML
 // document tree rooted at an element named opts.RootName.
 func (c *Converter) Convert(htmlSrc string) (*dom.Node, Stats) {
+	sp := c.opts.Tracer.StartSpan(SpanParse)
 	doc := htmlparse.Parse(htmlSrc)
 	if !c.opts.SkipTidy {
 		tidy.Clean(doc)
 	}
+	sp.End()
 	body := doc.FindElement("body")
 	if body == nil {
 		body = doc
@@ -154,17 +171,30 @@ func (c *Converter) Convert(htmlSrc string) (*dom.Node, Stats) {
 func (c *Converter) ConvertTree(body *dom.Node) (*dom.Node, Stats) {
 	var stats Stats
 	stats.HTMLNodes = body.CountElements()
+	tr := c.opts.Tracer
 
+	sp := tr.StartSpan(SpanTokenize)
 	c.applyTextRules(body, &stats)
+	sp.End()
 	if !c.opts.SkipGrouping {
+		sp = tr.StartSpan(SpanGroup)
 		c.applyGroupingRule(body)
+		sp.End()
 	}
+	sp = tr.StartSpan(SpanConsolidate)
 	root := dom.NewElement(c.opts.RootName)
 	c.consolidate(body, root)
+	sp.End()
 	// Whatever val accumulated on the consumed body/document belongs to the
 	// root.
 	root.AppendVal(body.Val())
 	stats.ConceptNodes = countConcepts(root, c.set)
+	if tr.Enabled() {
+		tr.Add(obs.CtrTokens, int64(stats.Tokens))
+		tr.Add(obs.CtrTokensIdent, int64(stats.IdentifiedTokens))
+		tr.Add(obs.CtrTokensUnident, int64(stats.UnidentifiedTokens))
+		tr.Add(obs.CtrConceptNodes, int64(stats.ConceptNodes))
+	}
 	return root, stats
 }
 
@@ -232,8 +262,12 @@ func (c *Converter) applyTextRules(root *dom.Node, stats *Stats) {
 func (c *Converter) applyInstanceRule(tok string, parent *dom.Node, stats *Stats) []*dom.Node {
 	matches := c.set.FindAll(tok)
 	if len(matches) == 0 && c.opts.Classifier != nil && c.opts.Classifier.Trained() {
-		if class, _ := c.opts.Classifier.Classify(tok); class != bayes.Unknown && c.set.Has(class) {
+		sp := c.opts.Tracer.StartSpan(SpanClassify)
+		class, _ := c.opts.Classifier.Classify(tok)
+		sp.End()
+		if class != bayes.Unknown && c.set.Has(class) {
 			stats.IdentifiedTokens++
+			c.opts.Tracer.Add(obs.CtrClassifierHits, 1)
 			el := dom.NewElement(class)
 			el.SetVal(tok)
 			return []*dom.Node{el}

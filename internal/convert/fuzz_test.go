@@ -1,0 +1,59 @@
+package convert_test
+
+import (
+	"testing"
+
+	"webrev/internal/concept"
+	"webrev/internal/convert"
+	"webrev/internal/corpus"
+)
+
+// FuzzConvert runs the full conversion pipeline (parse, tidy, tokenize,
+// instance rules, grouping, consolidation) on arbitrary HTML. Malformed or
+// truncated input must never panic, the result must be a valid tree rooted
+// at the configured root concept, and the token accounting must balance.
+func FuzzConvert(f *testing.F) {
+	g := corpus.New(corpus.Options{Seed: 11})
+	seeds := []string{
+		"",
+		"<h1>Jane Doe</h1><h2>Education</h2><ul><li>MIT, B.S., June 1999</li></ul>",
+		"<h2>Experience</h2><p>Acme, Engineer, 1998 - 2000",
+		"<h2>Education</h2><h2>Education</h2>", // duplicate sections
+		"<ul><li>June 1999<li>GPA 3.9</ul>",
+		"<p>no concepts here at all</p>",
+		"<table><tr><td>Skills</td><td>Go, SQL</table>",
+		"\x00<h1>\xff</h1>",
+	}
+	for _, r := range g.Corpus(3) {
+		seeds = append(seeds, r.HTML)
+	}
+	if long := g.Resume().HTML; len(long) > 40 {
+		seeds = append(seeds, long[:2*len(long)/3])
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	set := concept.ResumeSet()
+	f.Fuzz(func(t *testing.T, src string) {
+		c := convert.New(set, convert.Options{RootName: "resume"})
+		root, stats := c.Convert(src)
+		if root == nil {
+			t.Fatal("Convert returned nil root")
+		}
+		if err := root.Validate(); err != nil {
+			t.Fatalf("Convert produced an invalid tree: %v", err)
+		}
+		if root.Tag != "resume" {
+			t.Fatalf("root = %q, want %q", root.Tag, "resume")
+		}
+		if stats.Tokens < 0 || stats.IdentifiedTokens < 0 || stats.UnidentifiedTokens < 0 {
+			t.Fatalf("negative stats: %+v", stats)
+		}
+		if stats.IdentifiedTokens+stats.UnidentifiedTokens > stats.Tokens {
+			t.Fatalf("token accounting does not balance: %+v", stats)
+		}
+		if r := stats.IdentifiedRatio(); r < 0 || r > 1 {
+			t.Fatalf("IdentifiedRatio out of range: %v (%+v)", r, stats)
+		}
+	})
+}

@@ -14,8 +14,10 @@ import (
 	"webrev/internal/dom"
 	"webrev/internal/dtd"
 	"webrev/internal/mapping"
+	"webrev/internal/obs"
 	"webrev/internal/repository"
 	"webrev/internal/schema"
+	"webrev/internal/xmlout"
 )
 
 // Config parameterizes a Pipeline. Zero-value fields get the paper's
@@ -40,10 +42,17 @@ type Config struct {
 	// discovery: sibling schema components whose descendant label sets have
 	// at least this Jaccard similarity are merged.
 	UnifySimilar float64
-	// Parallelism bounds concurrent document conversions in Build and
-	// ConvertAll (0 means GOMAXPROCS). Conversion of distinct documents is
-	// independent; results keep input order.
+	// Parallelism bounds concurrent document conversions and conformance
+	// mappings in Build, ConvertAll and BuildRepository (0 means
+	// GOMAXPROCS). Work on distinct documents is independent; results keep
+	// input order.
 	Parallelism int
+	// Tracer instruments every stage: per-stage timings (obs.StageConvert,
+	// obs.StageExtract, obs.StageMine, obs.StageDerive, obs.StageMap) and
+	// the paper's evaluation counters. Nil means the no-op tracer, which
+	// costs nothing. Pass an *obs.Collector to retrieve metrics via
+	// Pipeline.Metrics or Repository.Stages.
+	Tracer obs.Tracer
 }
 
 // Pipeline is the assembled system. Create one with New.
@@ -51,6 +60,7 @@ type Pipeline struct {
 	set  *concept.Set
 	cfg  Config
 	conv *convert.Converter
+	tr   obs.Tracer
 }
 
 // New validates the configuration and assembles a Pipeline.
@@ -78,11 +88,29 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Constraints != nil {
 		opts.Constraints = cfg.Constraints
 	}
-	return &Pipeline{set: set, cfg: cfg, conv: convert.New(set, opts)}, nil
+	tr := obs.OrNop(cfg.Tracer)
+	if opts.Tracer == nil {
+		opts.Tracer = tr
+	}
+	return &Pipeline{set: set, cfg: cfg, conv: convert.New(set, opts), tr: tr}, nil
 }
 
 // Set returns the compiled concept set.
 func (p *Pipeline) Set() *concept.Set { return p.set }
+
+// Tracer returns the pipeline's tracer (the no-op tracer when none was
+// configured).
+func (p *Pipeline) Tracer() obs.Tracer { return p.tr }
+
+// Metrics returns a snapshot of the pipeline's recorded stage timings and
+// counters, or nil when the configured tracer does not record (the no-op
+// default).
+func (p *Pipeline) Metrics() *obs.Snapshot {
+	if c, ok := p.tr.(*obs.Collector); ok {
+		return c.Snapshot()
+	}
+	return nil
+}
 
 // Document is one converted input.
 type Document struct {
@@ -91,28 +119,47 @@ type Document struct {
 	Stats  convert.Stats
 }
 
-// Convert transforms one HTML source into its XML document.
+// Convert transforms one HTML source into its XML document, timed under
+// obs.StageConvert (the converter's sub-rules record their own sub-spans).
 func (p *Pipeline) Convert(source, html string) *Document {
+	sp := p.tr.StartSpan(obs.StageConvert)
 	x, stats := p.conv.Convert(html)
+	sp.End()
+	if p.tr.Enabled() {
+		p.tr.Add(obs.CtrDocsConverted, 1)
+		p.tr.Add(obs.CtrBytesIn, int64(len(html)))
+	}
 	return &Document{Source: source, XML: x, Stats: stats}
 }
 
 // ConvertAll converts every source concurrently (bounded by
 // Config.Parallelism), preserving input order in the result.
 func (p *Pipeline) ConvertAll(sources []Source) []*Document {
+	out := make([]*Document, len(sources))
+	p.forEach(len(sources), func(i int) {
+		out[i] = p.Convert(sources[i].Name, sources[i].HTML)
+	})
+	return out
+}
+
+// forEach runs fn(0..n-1) on a bounded worker pool (Config.Parallelism,
+// default GOMAXPROCS). Work items must be independent; fn is responsible
+// for writing results into per-index slots so output order is preserved.
+// With one worker the loop runs serially on the calling goroutine, which
+// keeps the serial path trivially deterministic for the race tests.
+func (p *Pipeline) forEach(n int, fn func(i int)) {
 	workers := p.cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(sources) {
-		workers = len(sources)
+	if workers > n {
+		workers = n
 	}
-	out := make([]*Document, len(sources))
 	if workers <= 1 {
-		for i, s := range sources {
-			out[i] = p.Convert(s.Name, s.HTML)
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return out
+		return
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -121,16 +168,15 @@ func (p *Pipeline) ConvertAll(sources []Source) []*Document {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = p.Convert(sources[i].Name, sources[i].HTML)
+				fn(i)
 			}
 		}()
 	}
-	for i := range sources {
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return out
 }
 
 // Repository is the result of the full pipeline over a corpus.
@@ -139,19 +185,38 @@ type Repository struct {
 	Schema *schema.Schema
 	DTD    *dtd.DTD
 	// Conformed holds each document after DTD-guided mapping, aligned with
-	// Docs; MapStats records the edits each needed.
+	// Docs; MapStats records the edits each needed. In a partial build the
+	// two may be shorter than Docs — use MappedDocs for the aligned count.
 	Conformed []*dom.Node
 	MapStats  []mapping.EditStats
+	// Stages holds the per-stage timing aggregates of the build when the
+	// pipeline was configured with a recording tracer (*obs.Collector),
+	// and is nil under the no-op default. Keys are the obs.Stage*
+	// constants; counters live on the collector's Snapshot.
+	Stages map[string]obs.StageStats
+}
+
+// MappedDocs returns the number of documents that went through conformance
+// mapping — min(len(Docs), len(MapStats)), so partial builds (MapStats
+// shorter than Docs) and inconsistent inputs (longer) are both safe.
+func (r *Repository) MappedDocs() int {
+	n := len(r.MapStats)
+	if len(r.Docs) < n {
+		n = len(r.Docs)
+	}
+	return n
 }
 
 // ConformanceRate returns the fraction of converted documents that already
-// conformed to the DTD before mapping.
+// conformed to the DTD before mapping. Documents not yet mapped (a partial
+// build whose MapStats is shorter than Docs) count as non-conforming;
+// an empty repository rates 0.
 func (r *Repository) ConformanceRate() float64 {
 	if len(r.Docs) == 0 {
 		return 0
 	}
 	n := 0
-	for _, s := range r.MapStats {
+	for _, s := range r.MapStats[:r.MappedDocs()] {
 		if s.Cost() == 0 {
 			n++
 		}
@@ -159,26 +224,31 @@ func (r *Repository) ConformanceRate() float64 {
 	return float64(n) / float64(len(r.Docs))
 }
 
-// TotalMapCost sums the edit operations mapping performed.
+// TotalMapCost sums the edit operations mapping performed over the mapped
+// documents (stats beyond len(Docs) are ignored).
 func (r *Repository) TotalMapCost() int {
 	total := 0
-	for _, s := range r.MapStats {
+	for _, s := range r.MapStats[:r.MappedDocs()] {
 		total += s.Cost()
 	}
 	return total
 }
 
-// DiscoverSchema mines the majority schema over converted documents.
+// DiscoverSchema mines the majority schema over converted documents. Path
+// extraction is timed under obs.StageExtract and mining under
+// obs.StageMine.
 func (p *Pipeline) DiscoverSchema(docs []*Document) *schema.Schema {
-	paths := make([]*schema.DocPaths, len(docs))
+	roots := make([]*dom.Node, len(docs))
 	for i, d := range docs {
-		paths[i] = schema.Extract(d.XML)
+		roots[i] = d.XML
 	}
+	paths := schema.ExtractAll(roots, p.tr)
 	m := &schema.Miner{
 		SupThreshold:   p.cfg.SupThreshold,
 		RatioThreshold: p.cfg.RatioThreshold,
 		Constraints:    p.cfg.Constraints,
 		Set:            p.set,
+		Tracer:         p.tr,
 	}
 	s := m.Discover(paths)
 	if p.cfg.UnifySimilar > 0 {
@@ -187,14 +257,26 @@ func (p *Pipeline) DiscoverSchema(docs []*Document) *schema.Schema {
 	return s
 }
 
-// DeriveDTD turns a schema into a DTD with the configured options.
+// DeriveDTD turns a schema into a DTD with the configured options, timed
+// under obs.StageDerive.
 func (p *Pipeline) DeriveDTD(s *schema.Schema) *dtd.DTD {
-	return dtd.FromSchema(s, p.cfg.DTD)
+	sp := p.tr.StartSpan(obs.StageDerive)
+	d := dtd.FromSchema(s, p.cfg.DTD)
+	sp.End()
+	if p.tr.Enabled() {
+		p.tr.Add(obs.CtrDTDElements, int64(d.Len()))
+	}
+	return d
 }
 
 // Build runs the complete pipeline: convert every source, discover the
 // majority schema, derive the DTD, and map every document to conform.
 // sources maps identifiers to HTML.
+//
+// Conversion and DTD-guided mapping both run on a bounded worker pool
+// (Config.Parallelism); each document's mapping is independent, and
+// results stay aligned with Docs regardless of worker interleaving, so
+// parallel and serial builds produce identical repositories.
 func (p *Pipeline) Build(sources []Source) (*Repository, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("core: empty corpus")
@@ -202,11 +284,21 @@ func (p *Pipeline) Build(sources []Source) (*Repository, error) {
 	repo := &Repository{Docs: p.ConvertAll(sources)}
 	repo.Schema = p.DiscoverSchema(repo.Docs)
 	repo.DTD = p.DeriveDTD(repo.Schema)
-	for _, d := range repo.Docs {
-		conformed, stats := mapping.Conform(d.XML, repo.DTD)
-		repo.Conformed = append(repo.Conformed, conformed)
-		repo.MapStats = append(repo.MapStats, stats)
+	repo.Conformed = make([]*dom.Node, len(repo.Docs))
+	repo.MapStats = make([]mapping.EditStats, len(repo.Docs))
+	p.forEach(len(repo.Docs), func(i int) {
+		repo.Conformed[i], repo.MapStats[i] = mapping.ConformTraced(repo.Docs[i].XML, repo.DTD, p.tr)
+	})
+	if p.tr.Enabled() {
+		// Output volume of the conformed repository; measured only when a
+		// collector is attached, so the no-op path never marshals.
+		var out int64
+		for _, c := range repo.Conformed {
+			out += int64(len(xmlout.Marshal(c)))
+		}
+		p.tr.Add(obs.CtrBytesOut, out)
 	}
+	repo.Stages = obs.StagesOf(p.tr)
 	return repo, nil
 }
 

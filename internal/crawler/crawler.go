@@ -29,6 +29,7 @@ import (
 	"webrev/internal/corpus"
 	"webrev/internal/dom"
 	"webrev/internal/htmlparse"
+	"webrev/internal/obs"
 )
 
 // Site is an in-memory website. Paths map to HTML bodies.
@@ -129,6 +130,9 @@ type Crawler struct {
 	// have their links followed (index pages are off-topic but lead to
 	// resumes). Nil keeps everything.
 	Filter func(url, html string) bool
+	// Tracer, when non-nil, receives the finished crawl's Report as the
+	// obs.StageCrawl timing and crawl.* counters (see Report.Record).
+	Tracer obs.Tracer
 }
 
 // Crawl fetches breadth-first from seed and returns every fetched page in a
@@ -169,6 +173,7 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 	seedURL, err := url.Parse(seed)
 	if err != nil {
 		rep.Wall = time.Since(start)
+		rep.Record(c.Tracer)
 		return nil, rep, fmt.Errorf("crawler: bad seed: %w", err)
 	}
 
@@ -292,6 +297,7 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 	// The next level that was never attempted (depth cap or early stop).
 	rep.Skipped += len(frontier)
 	rep.Wall = time.Since(start)
+	rep.Record(c.Tracer)
 	if rep.Canceled {
 		return pages, rep, ctx.Err()
 	}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"webrev/internal/obs"
 )
 
 // Report is the structured account of one crawl: what was fetched, what
@@ -38,6 +40,28 @@ type Report struct {
 	BudgetExhausted bool
 	// Canceled is set when the crawl's context ended before completion.
 	Canceled bool
+}
+
+// Record bridges the report into the pipeline's metrics model: the crawl's
+// wall clock becomes the obs.StageCrawl timing and the tallies become the
+// crawl.* counters (error classes under "crawl.errors.<class>"). tr may be
+// nil. Crawler.CrawlContext calls this automatically when the crawler has
+// a Tracer; it is exported for callers that run crawls outside a Crawler.
+func (r *Report) Record(tr obs.Tracer) {
+	tr = obs.OrNop(tr)
+	if !tr.Enabled() {
+		return
+	}
+	tr.Observe(obs.StageCrawl, r.Wall)
+	tr.Add(obs.CtrCrawlFetched, int64(r.Fetched))
+	tr.Add(obs.CtrCrawlFailed, int64(r.Failed))
+	tr.Add(obs.CtrCrawlRetried, int64(r.Retried))
+	tr.Add(obs.CtrCrawlSkipped, int64(r.Skipped))
+	tr.Add(obs.CtrCrawlTruncated, int64(r.Truncated))
+	tr.Add(obs.CtrCrawlBytes, r.Bytes)
+	for class, n := range r.ErrorClasses {
+		tr.Add("crawl.errors."+class, int64(n))
+	}
 }
 
 // String renders the report as a compact human-readable summary.

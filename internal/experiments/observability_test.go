@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"webrev/internal/obs"
+)
+
+func TestRunStageMetrics(t *testing.T) {
+	r, err := RunStageMetrics(10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Docs != 10 || r.Repo == nil || r.Snapshot == nil {
+		t.Fatalf("incomplete result: %+v", r)
+	}
+	for _, stage := range obs.PipelineStages {
+		if r.Snapshot.Stages[stage].Count == 0 {
+			t.Fatalf("stage %q missing from snapshot: %v", stage, r.Snapshot.Stages)
+		}
+	}
+	if r.Snapshot.Counters[obs.CtrDocsConverted] != 10 {
+		t.Fatalf("docs.converted = %d, want 10", r.Snapshot.Counters[obs.CtrDocsConverted])
+	}
+	rep := r.Report()
+	for _, want := range []string{"E8 —", "stage", "counters:", obs.StageMine} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestRunStageMetricsSharedCollector(t *testing.T) {
+	coll := obs.NewCollector()
+	if _, err := RunStageMetrics(5, 2, coll); err != nil {
+		t.Fatal(err)
+	}
+	if coll.Counter(obs.CtrDocsConverted) != 5 {
+		t.Fatalf("shared collector not fed: %d docs", coll.Counter(obs.CtrDocsConverted))
+	}
+}

@@ -1,0 +1,69 @@
+package htmlparse_test
+
+import (
+	"testing"
+
+	"webrev/internal/corpus"
+	"webrev/internal/htmlparse"
+)
+
+// fuzzSeeds returns a mix of realistic documents from the corpus generator
+// and handcrafted malformed / truncated HTML fragments. Shared by the fuzz
+// targets across packages so the parser, the cleaner and the converter all
+// start from the same interesting inputs.
+func fuzzSeeds() []string {
+	g := corpus.New(corpus.Options{Seed: 42})
+	seeds := []string{
+		"",
+		"plain text, no markup",
+		"<html><body><p>ok</p></body></html>",
+		"<p>unclosed paragraph",
+		"</p></div></html>",                     // end tags with no start
+		"<ul><li>a<li>b</ul>",                   // implied </li>
+		"<table><tr><td>x</table>",              // implied row/cell ends
+		"<b><i>nest</b></i>",                    // misnested inline tags
+		"<p <p>>broken <attr=\"<\">attrs</p>",   // malformed attributes
+		"<h1>t<h2>u",                            // heading run-on
+		"<!-- open comment <p>text",             // unterminated comment
+		"<p>&amp; &unknown; &#65; &#xZZ;</p>",   // entity edge cases
+		"<P>UPPER<BR>CASE</P>",                  // case-insensitive tags
+		"<script>var a = '<p>';</script><p>x",   // raw-text element
+		"\x00\x01<p>\xff\xfe</p>",               // control / invalid bytes
+		"<p>" + string(rune(0xFFFD)) + "</p>",   // replacement char
+		"<div><div><div><div><div>deep</div>",   // unclosed nesting
+		"<a href='x'>link<a href='y'>link2</a>", // nested anchors
+	}
+	for _, r := range g.Corpus(3) {
+		seeds = append(seeds, r.HTML)
+	}
+	seeds = append(seeds, g.Distractor())
+	// Truncated realistic document: cut mid-tag.
+	if long := g.Resume().HTML; len(long) > 40 {
+		seeds = append(seeds, long[:len(long)/2], long[:len(long)-7])
+	}
+	return seeds
+}
+
+// FuzzHTMLParse checks the parser's core contract: any byte sequence yields
+// a well-formed tree — no panic, and Validate reports no structural errors.
+func FuzzHTMLParse(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		root := htmlparse.Parse(src)
+		if root == nil {
+			t.Fatal("Parse returned nil")
+		}
+		if err := root.Validate(); err != nil {
+			t.Fatalf("Parse produced an invalid tree: %v", err)
+		}
+		body := htmlparse.ParseBody(src)
+		if body == nil {
+			t.Fatal("ParseBody returned nil")
+		}
+		if err := body.Validate(); err != nil {
+			t.Fatalf("ParseBody produced an invalid tree: %v", err)
+		}
+	})
+}

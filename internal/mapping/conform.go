@@ -3,6 +3,7 @@ package mapping
 import (
 	"webrev/internal/dom"
 	"webrev/internal/dtd"
+	"webrev/internal/obs"
 )
 
 // EditStats counts the operations Conform performed to make a document
@@ -34,4 +35,31 @@ func (s EditStats) Cost() int {
 func Conform(doc *dom.Node, d *dtd.DTD) (*dom.Node, EditStats) {
 	out, script := ConformScript(doc, d)
 	return out, script.Stats()
+}
+
+// ConformTraced is Conform timed under obs.StageMap with the edit-cost and
+// per-operation counters recorded on tr. tr may be nil (no-op). Safe for
+// concurrent use with a shared Collector: each call records once, under
+// the mapping worker running it.
+func ConformTraced(doc *dom.Node, d *dtd.DTD, tr obs.Tracer) (*dom.Node, EditStats) {
+	tr = obs.OrNop(tr)
+	sp := tr.StartSpan(obs.StageMap)
+	out, stats := Conform(doc, d)
+	sp.End()
+	if tr.Enabled() {
+		tr.Add(obs.CtrMapDocs, 1)
+		tr.Add(obs.CtrMapEdits, int64(stats.Cost()))
+		record := func(kind OpKind, n int) {
+			if n > 0 {
+				tr.Add(obs.MapOpCounter(kind.String()), int64(n))
+			}
+		}
+		record(OpRename, stats.Renamed)
+		record(OpInsert, stats.Inserted)
+		record(OpDelete, stats.Deleted)
+		record(OpMerge, stats.Merged)
+		record(OpReorder, stats.Reordered)
+		record(OpUnwrap, stats.Unwrapped)
+	}
+	return out, stats
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published guards expvar.Publish, which panics on duplicate names; the
+// same collector name may be wired more than once across tests or repeated
+// CLI invocations in one process.
+var published sync.Map // name -> *Collector holder
+
+type collectorHolder struct {
+	mu sync.Mutex
+	c  *Collector
+}
+
+// PublishExpvar exposes the collector's live snapshot as the named expvar
+// (visible under /debug/vars). Publishing a second collector under the same
+// name rebinds the variable instead of panicking.
+func (c *Collector) PublishExpvar(name string) {
+	h, loaded := published.LoadOrStore(name, &collectorHolder{c: c})
+	holder := h.(*collectorHolder)
+	holder.mu.Lock()
+	holder.c = c
+	holder.mu.Unlock()
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any {
+			holder.mu.Lock()
+			cur := holder.c
+			holder.mu.Unlock()
+			return cur.Snapshot()
+		}))
+	}
+}
+
+// DebugServer is a running metrics/profiling endpoint.
+type DebugServer struct {
+	// Addr is the bound address, e.g. "127.0.0.1:6060".
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error {
+	d.srv.Close()
+	return nil
+}
+
+// ServeDebug starts an HTTP debug endpoint on addr (":0" picks a free
+// port) serving, on its own mux so it composes with any application
+// server:
+//
+//	/debug/vars         expvar JSON, including the published collector
+//	/debug/pprof/...    the standard pprof profiles
+//	/metrics            the collector's snapshot (the WriteJSON format)
+//	/metrics/summary    the human-readable stage summary
+//
+// The collector is also published as the expvar "webrev". Callers own the
+// returned server and should Close it when done.
+func ServeDebug(addr string, c *Collector) (*DebugServer, error) {
+	c.PublishExpvar("webrev")
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		c.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics/summary", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(c.Snapshot().Summary()))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go d.srv.Serve(ln)
+	return d, nil
+}

@@ -1,0 +1,118 @@
+// Package obs is the pipeline's observability layer: named spans around
+// every stage, monotonic stage timers, and typed counters/gauges for the
+// quantities the paper's evaluation (§4) measures — documents converted,
+// tokens classified, paths extracted and kept, edit operations per
+// document, bytes in and out.
+//
+// The layer has two implementations of the Tracer interface. Nop() is the
+// default everywhere: its methods are empty, its spans are zero-sized, and
+// calls through it compile to near-zero overhead (no allocation, no lock),
+// so instrumented code pays nothing when observability is off. NewCollector
+// returns the recording implementation: a mutex-protected registry of stage
+// timings and counters that any number of goroutines may feed concurrently.
+// Snapshot freezes a Collector into a serializable value with a JSON writer
+// (the BENCH_pipeline.json format), a human-readable summary table, and an
+// expvar/pprof debug endpoint (see ServeDebug).
+//
+// Stage and counter names are declared here as constants so producers
+// (core, convert, schema, mapping, crawler) and consumers (CLIs, the
+// experiment harness, golden tests) agree on the vocabulary.
+package obs
+
+import "time"
+
+// Span is one in-flight timed region. End stops it; End on the zero span or
+// a span from the no-op tracer does nothing, so spans can be ended
+// unconditionally (usually via defer).
+type Span interface {
+	End()
+}
+
+// Tracer is the instrumentation interface threaded through the pipeline.
+// Implementations must be safe for concurrent use.
+type Tracer interface {
+	// StartSpan begins a named timed region; the span's End records its
+	// duration under name as a stage timing.
+	StartSpan(name string) Span
+	// Observe records an externally measured duration under name — the
+	// bridge for subsystems that already track their own wall clock (the
+	// crawler's Report).
+	Observe(name string, d time.Duration)
+	// Add increments the named counter by delta.
+	Add(name string, delta int64)
+	// Set sets the named gauge to v.
+	Set(name string, v int64)
+	// Enabled reports whether events are recorded. Instrumented code uses
+	// it to gate work done only to feed metrics (e.g. measuring output
+	// bytes).
+	Enabled() bool
+}
+
+// Canonical stage names. Every pipeline stage times itself under one of
+// these, so sinks and tests can enumerate them.
+const (
+	StageConvert = "pipeline.convert" // HTML → concept-tagged XML, per document
+	StageExtract = "schema.extract"   // XML → label-path representation
+	StageMine    = "schema.mine"      // frequent-path discovery
+	StageDerive  = "dtd.derive"       // schema → DTD
+	StageMap     = "map.conform"      // DTD-guided document mapping, per document
+	StageCrawl   = "crawl"            // acquisition crawl (bridged from crawler.Report)
+)
+
+// PipelineStages lists the stages a full Build exercises, in order.
+var PipelineStages = []string{StageConvert, StageExtract, StageMine, StageDerive, StageMap}
+
+// Canonical counter names.
+const (
+	CtrDocsConverted  = "docs.converted"      // documents through conversion
+	CtrBytesIn        = "bytes.in"            // HTML bytes entering conversion
+	CtrBytesOut       = "bytes.out"           // XML bytes of conformed output
+	CtrTokens         = "tokens.total"        // tokens from the tokenization rule
+	CtrTokensIdent    = "tokens.identified"   // tokens related to a concept
+	CtrTokensUnident  = "tokens.unidentified" // tokens folded into parent val
+	CtrClassifierHits = "tokens.classified"   // tokens identified by the Bayes classifier
+	CtrConceptNodes   = "concepts.nodes"      // concept elements produced
+	CtrPathsExtracted = "paths.extracted"     // distinct label paths across documents
+	CtrPathsExplored  = "paths.explored"      // candidate paths tested by the miner
+	CtrPathsPruned    = "paths.pruned"        // candidates rejected by constraints
+	CtrPathsFrequent  = "paths.frequent"      // paths kept in the majority schema
+	CtrDTDElements    = "dtd.elements"        // element declarations derived
+	CtrMapEdits       = "map.edits"           // total edit operations across documents
+	CtrMapDocs        = "map.docs"            // documents through conformance mapping
+	CtrCrawlFetched   = "crawl.fetched"
+	CtrCrawlFailed    = "crawl.failed"
+	CtrCrawlRetried   = "crawl.retried"
+	CtrCrawlSkipped   = "crawl.skipped"
+	CtrCrawlTruncated = "crawl.truncated"
+	CtrCrawlBytes     = "crawl.bytes"
+)
+
+// MapOpCounter returns the counter name for one conformance-mapping edit
+// kind, e.g. MapOpCounter("insert") == "map.ops.insert".
+func MapOpCounter(kind string) string { return "map.ops." + kind }
+
+// nop is the disabled tracer. All methods are empty; StartSpan returns a
+// zero-sized span, so the interface conversions allocate nothing.
+type nop struct{}
+
+type nopSpan struct{}
+
+func (nopSpan) End() {}
+
+func (nop) StartSpan(string) Span         { return nopSpan{} }
+func (nop) Observe(string, time.Duration) {}
+func (nop) Add(string, int64)             {}
+func (nop) Set(string, int64)             {}
+func (nop) Enabled() bool                 { return false }
+
+// Nop returns the shared no-op tracer.
+func Nop() Tracer { return nop{} }
+
+// OrNop returns t, or the no-op tracer when t is nil, so optional Tracer
+// fields can be used without nil checks at every call site.
+func OrNop(t Tracer) Tracer {
+	if t == nil {
+		return Nop()
+	}
+	return t
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"webrev/internal/concept"
+	"webrev/internal/obs"
 )
 
 // DefaultRepThreshold is the sibling count above which an element counts as
@@ -36,6 +37,9 @@ type Miner struct {
 	// support is even consulted (§4.2).
 	Constraints *concept.Constraints
 	Set         *concept.Set
+	// Tracer, when non-nil, times Discover under obs.StageMine and records
+	// the explored/pruned/frequent path counters.
+	Tracer obs.Tracer
 }
 
 // Node is one node of the discovered majority schema tree TF.
@@ -75,6 +79,9 @@ type Schema struct {
 // Discover mines the majority schema from the corpus. It never fails; an
 // empty corpus yields an empty schema.
 func (m *Miner) Discover(docs []*DocPaths) *Schema {
+	tr := obs.OrNop(m.Tracer)
+	sp := tr.StartSpan(obs.StageMine)
+	defer sp.End()
 	rep := m.RepThreshold
 	if rep <= 0 {
 		rep = DefaultRepThreshold
@@ -83,6 +90,13 @@ func (m *Miner) Discover(docs []*DocPaths) *Schema {
 	if len(docs) == 0 {
 		return s
 	}
+	defer func() {
+		if tr.Enabled() {
+			tr.Add(obs.CtrPathsExplored, int64(s.Explored))
+			tr.Add(obs.CtrPathsPruned, int64(s.Pruned))
+			tr.Add(obs.CtrPathsFrequent, int64(s.CountNodes()))
+		}
+	}()
 	n := float64(len(docs))
 
 	// Document frequency per path, computed once. DocPaths.Paths is

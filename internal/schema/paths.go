@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"webrev/internal/dom"
+	"webrev/internal/obs"
 )
 
 // Sep joins path components in string keys. Concept names never contain it.
@@ -103,6 +104,25 @@ func Extract(root *dom.Node) *DocPaths {
 	}
 	walk(root, "", 0)
 	return d
+}
+
+// ExtractAll reduces every document to its label-path representation under
+// one obs.StageExtract span, counting the label-path prefixes extracted
+// (CtrPathsExtracted sums over documents). tr may be nil.
+func ExtractAll(roots []*dom.Node, tr obs.Tracer) []*DocPaths {
+	tr = obs.OrNop(tr)
+	sp := tr.StartSpan(obs.StageExtract)
+	defer sp.End()
+	out := make([]*DocPaths, len(roots))
+	paths := 0
+	for i, r := range roots {
+		out[i] = Extract(r)
+		paths += len(out[i].Paths)
+	}
+	if tr.Enabled() {
+		tr.Add(obs.CtrPathsExtracted, int64(paths))
+	}
+	return out
 }
 
 // SortedPaths returns the document's paths in lexicographic order, mainly

@@ -1,0 +1,51 @@
+package tidy_test
+
+import (
+	"testing"
+
+	"webrev/internal/corpus"
+	"webrev/internal/htmlparse"
+	"webrev/internal/tidy"
+)
+
+// FuzzTidy checks that cleansing any parsed tree — however malformed the
+// source HTML — never panics and preserves structural validity.
+func FuzzTidy(f *testing.F) {
+	g := corpus.New(corpus.Options{Seed: 7})
+	seeds := []string{
+		"",
+		"<p>   collapse \t\n  me   </p>",
+		"<script>drop()</script><style>p{}</style><p>keep</p>",
+		"<!-- comment --><p>a</p><!-- unterminated",
+		"<p></p><div></div>", // empty elements
+		"<h3>promoted</h3>",  // heading repair path
+		"<p>a</p>text<p>b",   // mixed text runs
+		"\x00<td>stray cell</td>\xff",
+	}
+	for _, r := range g.Corpus(2) {
+		seeds = append(seeds, r.HTML)
+	}
+	seeds = append(seeds, g.Distractor())
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		root := htmlparse.Parse(src)
+		clean := tidy.Clean(root)
+		if clean == nil {
+			t.Fatal("Clean returned nil")
+		}
+		if err := clean.Validate(); err != nil {
+			t.Fatalf("Clean produced an invalid tree: %v", err)
+		}
+		// The aggressive variant exercises the remaining option paths.
+		aggr := tidy.CleanWith(htmlparse.Parse(src), tidy.Options{
+			KeepComments:  true,
+			KeepScripts:   true,
+			KeepEmptyText: true,
+		})
+		if err := aggr.Validate(); err != nil {
+			t.Fatalf("CleanWith produced an invalid tree: %v", err)
+		}
+	})
+}

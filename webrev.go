@@ -21,9 +21,39 @@ import (
 	"webrev/internal/core"
 	"webrev/internal/crawler"
 	"webrev/internal/dom"
+	"webrev/internal/obs"
 	"webrev/internal/repository"
 	"webrev/internal/xmlout"
 )
+
+// Re-exported observability types (see internal/obs and DESIGN.md). Pass a
+// *Collector as Config.Tracer to record per-stage timings and counters; the
+// default is a no-op with near-zero overhead.
+type (
+	// Tracer receives span timings and counter updates from every pipeline
+	// stage.
+	Tracer = obs.Tracer
+	// Collector is the recording Tracer; snapshot it for metrics.
+	Collector = obs.Collector
+	// Snapshot is a point-in-time copy of a Collector, serializable as
+	// JSON.
+	Snapshot = obs.Snapshot
+	// StageStats aggregates the observations of one named stage.
+	StageStats = obs.StageStats
+)
+
+// NewCollector returns an empty recording Tracer.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// PipelineStages lists the stage names Pipeline.Build records, in pipeline
+// order.
+var PipelineStages = obs.PipelineStages
+
+// ResumeConcepts returns the paper's resume-domain concept vocabulary.
+func ResumeConcepts() []Concept { return concept.ResumeConcepts() }
+
+// ResumeConstraints returns the paper's §4.2 resume constraint classes.
+func ResumeConstraints() *Constraints { return concept.ResumeConstraints() }
 
 // Re-exported pipeline types. Pipeline is the main entry point.
 type (
