@@ -1,13 +1,14 @@
 # Developer / CI targets. `make check` is the full gate: build, vet, the
-# tier-1 test suite, the race detector over the concurrent packages, and a
-# short run of every fuzz target.
+# tier-1 test suite, the race detector over the concurrent packages, a
+# short run of every fuzz target, the documentation lint, and a one-shot
+# smoke run of the streaming-build benchmarks.
 
 GO ?= go
 
 # Per-target budget for `make fuzz` (and the fuzz leg of `make check`).
 FUZZTIME ?= 5s
 
-.PHONY: build test vet race fuzz bench check
+.PHONY: build test vet race fuzz bench bench-stream-short docs-lint check
 
 build:
 	$(GO) build ./...
@@ -32,10 +33,24 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTidy -fuzztime $(FUZZTIME) ./internal/tidy/
 	$(GO) test -run '^$$' -fuzz FuzzConvert -fuzztime $(FUZZTIME) ./internal/convert/
 
-# E1-E5 micro/macro benchmarks plus a metrics snapshot of the full pipeline
-# (experiment E8) written through the observability layer.
+# E1-E5 micro/macro benchmarks plus metrics snapshots of the full batch
+# pipeline (experiment E8 -> BENCH_pipeline.json) and the streaming
+# crawl-and-build comparison (experiment E9 -> BENCH_stream.json), both
+# written through the observability layer.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 	$(GO) run ./cmd/webrev experiments -run E8 -docs 100 -seed 1 -metrics BENCH_pipeline.json
+	$(GO) run ./cmd/webrev experiments -run E9 -docs 200 -seed 1 -metrics BENCH_stream.json
 
-check: build vet test race fuzz
+# One iteration of the batch-vs-streaming build benchmarks over a small
+# corpus: proves the streaming path still runs end to end without paying
+# for full benchmark statistics (the `make check` smoke leg).
+bench-stream-short:
+	$(GO) test -run '^$$' -bench 'Benchmark(Batch|Stream)Build' -benchtime 1x -short .
+
+# Documentation gate: every package needs a package comment and every
+# exported identifier of the webrev facade needs a doc comment.
+docs-lint:
+	$(GO) run ./cmd/docslint
+
+check: build vet test race fuzz docs-lint bench-stream-short

@@ -14,9 +14,18 @@
 //	crawl [-n 30] [-distractors 10] [-seed 1] [-workers 8]
 //	      [-timeout 10s] [-retries 2] [-max-pages 0] [-max-failures 0]
 //	      [-fault-rate 0] [-fault-seed 1]
+//	      [-stream] [-inflight 0]
 //	      [-metrics snap.json] [-pprof addr]
 //
-// -metrics FILE writes a JSON snapshot of the crawl's stage timing and
+// With -stream the crawl feeds the full pipeline as it runs (crawl-and-
+// build): on-topic pages stream through conversion and mergeable schema
+// statistics while the crawler is still fetching, the DTD is derived once
+// the crawl ends, and the conformed repository is reported — without ever
+// materializing the intermediate corpus. -inflight caps how many documents
+// the streaming build holds at once (its backpressure bound; 0 picks the
+// default of 4x the conversion workers). See ARCHITECTURE.md.
+//
+// -metrics FILE writes a JSON snapshot of the run's stage timing and
 // counters (the same format the pipeline's observability layer emits);
 // -pprof ADDR serves /debug/pprof, /debug/vars and /metrics on ADDR while
 // the crawl runs.
@@ -33,6 +42,8 @@ import (
 	"sort"
 	"time"
 
+	"webrev/internal/concept"
+	"webrev/internal/core"
 	"webrev/internal/corpus"
 	"webrev/internal/crawler"
 	"webrev/internal/crawler/faultinject"
@@ -50,6 +61,8 @@ type options struct {
 	maxFailures int
 	faultRate   float64
 	faultSeed   int64
+	stream      bool
+	inFlight    int
 	metricsOut  string
 	pprofAddr   string
 }
@@ -66,6 +79,8 @@ func main() {
 	flag.IntVar(&o.maxFailures, "max-failures", 0, "error budget: stop after this many failed URLs (0 = unlimited)")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient faults on this fraction of paths (demo)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
+	flag.BoolVar(&o.stream, "stream", false, "crawl-and-build: stream on-topic pages through the full pipeline while crawling")
+	flag.IntVar(&o.inFlight, "inflight", 0, "streaming build's in-flight document cap (0 = 4x conversion workers)")
 	flag.StringVar(&o.metricsOut, "metrics", "", "write a JSON metrics snapshot of the crawl to this file")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve /debug/pprof, /debug/vars and /metrics on this address during the crawl")
 	flag.Parse()
@@ -114,7 +129,7 @@ func run(ctx context.Context, o options) error {
 
 	coll := obs.NewCollector()
 	var tr obs.Tracer
-	if o.metricsOut != "" || o.pprofAddr != "" {
+	if o.metricsOut != "" || o.pprofAddr != "" || o.stream {
 		tr = coll
 	}
 	if o.pprofAddr != "" {
@@ -147,6 +162,16 @@ func run(ctx context.Context, o options) error {
 		fmt.Printf("wrote metrics snapshot to %s\n", o.metricsOut)
 		return nil
 	}
+	if o.stream {
+		if err := runStream(ctx, o, c, seedURL, coll); err != nil {
+			return err
+		}
+		if inj != nil {
+			fmt.Printf("faults injected: %d %v\n", inj.Total(), inj.Injected())
+		}
+		return writeMetrics()
+	}
+
 	pages, rep, err := c.CrawlContext(ctx, seedURL)
 	if err != nil {
 		fmt.Printf("crawl ended early: %v\nreport: %s\n", err, rep)
@@ -175,4 +200,41 @@ func run(ctx context.Context, o options) error {
 		fmt.Printf("faults injected: %d %v\n", inj.Total(), inj.Injected())
 	}
 	return writeMetrics()
+}
+
+// runStream is the crawl-and-build path: the crawler's on-topic pages feed
+// the streaming pipeline while the crawl is still running, so no
+// intermediate corpus is ever materialized.
+func runStream(ctx context.Context, o options, c *crawler.Crawler, seedURL string, coll *obs.Collector) error {
+	p, err := core.New(core.Config{
+		Concepts:    concept.ResumeConcepts(),
+		Constraints: concept.ResumeConstraints(),
+		RootName:    "resume",
+		MaxInFlight: o.inFlight,
+		Tracer:      coll,
+	})
+	if err != nil {
+		return err
+	}
+	src, wait := core.AcquireStream(ctx, c, seedURL)
+	repo, buildErr := p.BuildStream(ctx, src)
+	rep, crawlErr := wait()
+	fmt.Printf("report: %s\n", rep)
+	if crawlErr != nil {
+		fmt.Printf("crawl ended early: %v\n", crawlErr)
+	}
+	if buildErr != nil {
+		fmt.Printf("streaming build ended early: %v\n", buildErr)
+		return nil
+	}
+	snap := coll.Snapshot()
+	fmt.Printf("crawled and built %d on-topic documents; schema %d paths; DTD %d elements\n",
+		len(repo.Docs), len(repo.Schema.Paths()), repo.DTD.Len())
+	fmt.Printf("peak in-flight documents %d (cap %d); %d statistic shards merged\n",
+		snap.Gauges[obs.GaugeStreamInFlightPeak], o.inFlight, snap.Gauges[obs.GaugeStreamShards])
+	fmt.Printf("pre-mapping conformance %.1f%%, total mapping cost %d edits\n",
+		repo.ConformanceRate()*100, repo.TotalMapCost())
+	fmt.Print(snap.Summary())
+	fmt.Print(repo.DTD.Render())
+	return nil
 }

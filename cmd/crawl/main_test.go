@@ -62,6 +62,47 @@ func TestRunCrawlDemoWithFaults(t *testing.T) {
 	}
 }
 
+func TestRunCrawlDemoStream(t *testing.T) {
+	o := baseOptions()
+	o.stream = true
+	o.inFlight = 3
+	o.metricsOut = filepath.Join(t.TempDir(), "stream.json")
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(o.metricsOut)
+	if err != nil {
+		t.Fatalf("metrics snapshot not written: %v", err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The streaming build ran the whole pipeline inside the crawl.
+	if snap.Counters[obs.CtrDocsConverted] != 5 {
+		t.Fatalf("docs.converted = %d, want 5", snap.Counters[obs.CtrDocsConverted])
+	}
+	if peak := snap.Gauges[obs.GaugeStreamInFlightPeak]; peak < 1 || peak > 3 {
+		t.Fatalf("peak in-flight = %d, want within (0, 3]", peak)
+	}
+	if snap.Stages[obs.StageMerge].Count != 1 {
+		t.Fatalf("merge stage not recorded: %v", snap.Stages)
+	}
+}
+
+func TestRunCrawlDemoStreamCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := baseOptions()
+	o.stream = true
+	// Like the batch demo, cancellation reports partial progress instead of
+	// failing the command.
+	if err := run(ctx, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunCrawlDemoCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, src string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintFlagsViolations(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "w.go"),
+		"package webrev\n\nfunc Exported() {}\n\n// Documented is fine.\nfunc Documented() {}\n")
+	write(t, filepath.Join(dir, "internal", "x", "x.go"),
+		"package x\n\nfunc F() {}\n")
+	write(t, filepath.Join(dir, "internal", "y", "y.go"),
+		"// Package y is documented.\npackage y\n\nfunc G() {}\n")
+
+	got, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(got, "\n")
+	for _, want := range []string{
+		"package webrev has no package comment",
+		"exported function Exported has no doc comment",
+		"package x has no package comment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing violation %q in:\n%s", want, joined)
+		}
+	}
+	// y is documented; G is exported but only the facade package is held
+	// to the identifier bar.
+	for _, notWant := range []string{"package y", "Documented", " G "} {
+		if strings.Contains(joined, notWant) {
+			t.Errorf("unexpected violation mentioning %q in:\n%s", notWant, joined)
+		}
+	}
+}
+
+func TestLintCleanOnConstBlock(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "w.go"),
+		"// Package webrev is the facade.\npackage webrev\n\n"+
+			"// Roles for everything in the block.\nconst (\n\tRoleA = 1\n\tRoleB = 2\n)\n")
+	got, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("clean tree flagged: %v", got)
+	}
+}
+
+func TestLintSkipsTestFilesAndTestdata(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "w.go"), "// Package webrev is the facade.\npackage webrev\n")
+	write(t, filepath.Join(dir, "w_test.go"), "package webrev\n\nfunc TestHelperExported() {}\n")
+	write(t, filepath.Join(dir, "testdata", "bad.go"), "package bad\n\nfunc Bad() {}\n")
+	got, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("test-only files flagged: %v", got)
+	}
+}

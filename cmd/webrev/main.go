@@ -77,7 +77,7 @@ commands:
   build        full pipeline: convert, discover, derive, conform
   query        evaluate a label-path query against a built repository
   suggest      propose new concept instances from unidentified text
-  experiments  regenerate the paper's evaluation (E1-E8)
+  experiments  regenerate the paper's evaluation (E1-E9)
 
 build and experiments accept -metrics FILE (JSON stage-metrics snapshot)
 and -pprof ADDR (live /debug/pprof + /metrics endpoint).
@@ -309,7 +309,7 @@ func cmdSuggest(args []string, w io.Writer) error {
 
 func cmdExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8", "comma-separated experiment ids")
+	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9", "comma-separated experiment ids")
 	docs := fs.Int("docs", 0, "override corpus size (0 = per-experiment default)")
 	seed := fs.Int64("seed", 1, "corpus seed")
 	metricsOut, pprofAddr := obsFlags(fs)
@@ -360,6 +360,21 @@ func cmdExperiments(args []string, w io.Writer) error {
 			return err
 		}
 		r, err := experiments.RunStageMetrics(n(100), *seed, coll)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Report())
+		if err := finish(); err != nil {
+			return err
+		}
+	}
+	if want["E9"] {
+		coll := obs.NewCollector()
+		finish, err := startObs(coll, *metricsOut, *pprofAddr, w)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.RunStreamComparison(n(100), *seed, coll)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,93 @@
+package webrev_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webrev"
+	"webrev/internal/corpus"
+)
+
+// goldenBuildStream runs the streaming pipeline over the same fixed corpus
+// as goldenBuild, with a recording tracer and a deliberately tight
+// in-flight cap.
+func goldenBuildStream(t *testing.T, cap int) (*webrev.Repository, *webrev.Snapshot) {
+	t.Helper()
+	coll := webrev.NewCollector()
+	pipe, err := webrev.New(webrev.Config{
+		Concepts:    webrev.ResumeConcepts(),
+		Constraints: webrev.ResumeConstraints(),
+		RootName:    "resume",
+		MaxInFlight: cap,
+		Tracer:      coll,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sources []webrev.Source
+	for _, r := range corpus.New(corpus.Options{Seed: goldenSeed}).Corpus(goldenDocs) {
+		sources = append(sources, webrev.Source{Name: r.Name, HTML: r.HTML})
+	}
+	repo, err := pipe.BuildStream(context.Background(), webrev.SourceChan(sources))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo, coll.Snapshot()
+}
+
+// TestGoldenBuildStream pins the streaming build against the same committed
+// golden artifacts the batch build produces: BuildStream on the golden
+// corpus must yield a byte-identical DTD and conformed repository. Metrics
+// are not compared byte-for-byte (the streaming build records extra merge
+// and gauge entries) but the per-document counters must agree with the
+// batch path.
+func TestGoldenBuildStream(t *testing.T) {
+	const cap = 4
+	repo, snap := goldenBuildStream(t, cap)
+
+	got := renderGolden(t, repo, snap)
+	dir := filepath.Join("testdata", "golden")
+	for _, name := range []string{"schema.dtd", "conformed.xml"} {
+		want, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing golden file (run `go test -run TestGoldenBuild -update .`): %v", err)
+		}
+		if string(want) != got[name] {
+			t.Errorf("streaming %s differs from the batch golden file\n%s",
+				name, firstDiff(string(want), got[name]))
+		}
+	}
+
+	if n := snap.Counters["docs.converted"]; n != goldenDocs {
+		t.Errorf("docs.converted = %d, want %d", n, goldenDocs)
+	}
+	if peak := snap.Gauges[webrev.GaugeStreamInFlightPeak]; peak < 1 || peak > cap {
+		t.Errorf("peak in-flight = %d, want within (0, %d]", peak, cap)
+	}
+	if st := snap.Stages["schema.merge"]; st.Count != 1 {
+		t.Errorf("merge stage count = %d, want 1", st.Count)
+	}
+	// The per-document stages saw exactly the golden corpus.
+	for _, stage := range []string{"pipeline.convert", "schema.extract", "map.conform"} {
+		if st := snap.Stages[stage]; st.Count != goldenDocs {
+			t.Errorf("stage %s count = %d, want %d", stage, st.Count, goldenDocs)
+		}
+	}
+}
+
+// TestGoldenBuildStreamDeterministic asserts two streaming builds with
+// different worker counts produce byte-identical artifacts.
+func TestGoldenBuildStreamDeterministic(t *testing.T) {
+	repoA, _ := goldenBuildStream(t, 2)
+	repoB, _ := goldenBuildStream(t, 9)
+	if repoA.DTD.Render() != repoB.DTD.Render() {
+		t.Error("DTD differs across in-flight caps")
+	}
+	for i := range repoA.Conformed {
+		if webrev.MarshalXML(repoA.Conformed[i]) != webrev.MarshalXML(repoB.Conformed[i]) {
+			t.Errorf("conformed document %d differs across in-flight caps", i)
+		}
+	}
+}

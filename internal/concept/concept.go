@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // Role classifies a concept for the constraint classes of §4.2: title names
@@ -129,9 +131,10 @@ type Match struct {
 
 // FindAll locates every non-overlapping instance occurrence in text,
 // case-insensitively and on word boundaries, preferring longer instances.
-// Matches are returned in order of Start.
+// Matches are returned in order of Start, with Start/End as byte offsets
+// into text itself.
 func (s *Set) FindAll(text string) []Match {
-	low := strings.ToLower(text)
+	low, off := foldText(text)
 	claimed := make([]bool, len(low))
 	var out []Match
 	for _, e := range s.instances {
@@ -153,11 +156,47 @@ func (s *Set) FindAll(text string) []Match {
 			for k := start; k < end; k++ {
 				claimed[k] = true
 			}
+			if off != nil {
+				start, end = off[start], off[end]
+			}
 			out = append(out, Match{Concept: e.concept, Instance: e.pattern, Start: start, End: end})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
+}
+
+// foldText lowercases text and returns, for every byte of the lowered form
+// plus one end sentinel, the corresponding byte offset in the original
+// text. A nil offset slice means the mapping is the identity (the
+// all-ASCII fast path). Lowering can shift byte offsets — multi-byte case
+// pairs change encoded length, and invalid bytes turn into U+FFFD — so
+// offsets found in the lowered string must be translated before slicing
+// the original; indexing it directly is an out-of-bounds panic waiting for
+// malformed input.
+func foldText(text string) (string, []int) {
+	ascii := true
+	for i := 0; i < len(text); i++ {
+		if text[i] >= utf8.RuneSelf {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return strings.ToLower(text), nil
+	}
+	var b strings.Builder
+	b.Grow(len(text))
+	off := make([]int, 0, len(text)+1)
+	for i, r := range text {
+		n := b.Len()
+		b.WriteRune(unicode.ToLower(r))
+		for ; n < b.Len(); n++ {
+			off = append(off, i)
+		}
+	}
+	off = append(off, len(text))
+	return b.String(), off
 }
 
 // First returns the first (leftmost, longest-preferred) match in text, or a

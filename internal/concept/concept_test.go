@@ -144,6 +144,34 @@ func TestPropertyMatchesWithinBoundsAndOrdered(t *testing.T) {
 	}
 }
 
+func TestFindAllOffsetsSurviveLoweringLengthChanges(t *testing.T) {
+	// Lowercasing can change byte length: invalid UTF-8 bytes become
+	// U+FFFD (3 bytes each), and some case pairs have different encoded
+	// sizes (e.g. U+212A KELVIN SIGN → 'k'). Match offsets must refer to
+	// the original text, not the lowered copy (regression: the fuzzer
+	// found a slice-bounds panic in conversion on exactly this input
+	// shape).
+	s := testSet(t)
+	for _, text := range []string{
+		"GPA \xd7\xd7\xd7\xd7\xd7\xd7GPA",
+		"K İ GPA",                    // Kelvin sign (shrinks) and dotted capital I (grows)
+		"\xffGPA\xff University\xe0", // invalid bytes hugging real instances
+	} {
+		ms := s.FindAll(text)
+		if len(ms) == 0 {
+			t.Fatalf("FindAll(%q) found nothing", text)
+		}
+		for _, m := range ms {
+			if m.Start < 0 || m.End > len(text) || m.Start >= m.End {
+				t.Fatalf("FindAll(%q): match %+v out of bounds", text, m)
+			}
+			if got := strings.ToLower(text[m.Start:m.End]); got != m.Instance {
+				t.Fatalf("FindAll(%q): offsets select %q, want instance %q", text, got, m.Instance)
+			}
+		}
+	}
+}
+
 func TestResumeVocabularyFigures(t *testing.T) {
 	cs := ResumeConcepts()
 	if len(cs) != 24 {

@@ -43,10 +43,18 @@ type Config struct {
 	// at least this Jaccard similarity are merged.
 	UnifySimilar float64
 	// Parallelism bounds concurrent document conversions and conformance
-	// mappings in Build, ConvertAll and BuildRepository (0 means
-	// GOMAXPROCS). Work on distinct documents is independent; results keep
-	// input order.
+	// mappings in Build, ConvertAll, BuildRepository and BuildStream (0
+	// means GOMAXPROCS). Work on distinct documents is independent; results
+	// keep input order.
 	Parallelism int
+	// MaxInFlight caps how many documents BuildStream holds between
+	// acceptance from the input channel and the fold of their statistics
+	// into the schema accumulator — the streaming build's backpressure
+	// bound. Acceptance blocks (propagating backpressure to the producer,
+	// e.g. the crawler) until a slot frees. 0 means 4x the worker count. The
+	// cap is a hard bound: when it is below Parallelism, the streaming
+	// build runs fewer workers rather than exceed it.
+	MaxInFlight int
 	// Tracer instruments every stage: per-stage timings (obs.StageConvert,
 	// obs.StageExtract, obs.StageMine, obs.StageDerive, obs.StageMap) and
 	// the paper's evaluation counters. Nil means the no-op tracer, which
@@ -117,6 +125,10 @@ type Document struct {
 	Source string // identifier: URL, filename, or generator id
 	XML    *dom.Node
 	Stats  convert.Stats
+	// Paths caches the document's label-path representation, extracted at
+	// most once per document (ExtractPaths) and shared by every mine call
+	// and by both the batch and streaming build paths.
+	Paths *schema.DocPaths
 }
 
 // Convert transforms one HTML source into its XML document, timed under
@@ -234,27 +246,48 @@ func (r *Repository) TotalMapCost() int {
 	return total
 }
 
-// DiscoverSchema mines the majority schema over converted documents. Path
-// extraction is timed under obs.StageExtract and mining under
-// obs.StageMine.
-func (p *Pipeline) DiscoverSchema(docs []*Document) *schema.Schema {
-	roots := make([]*dom.Node, len(docs))
-	for i, d := range docs {
-		roots[i] = d.XML
+// ExtractPaths returns the document's label-path representation, extracting
+// it (timed under obs.StageExtract) on first use and caching it on the
+// document. Repeated mine calls — and the batch and streaming build paths —
+// therefore share one extraction pass per document.
+func (p *Pipeline) ExtractPaths(d *Document) *schema.DocPaths {
+	if d.Paths == nil {
+		d.Paths = schema.ExtractTraced(d.XML, p.tr)
 	}
-	paths := schema.ExtractAll(roots, p.tr)
-	m := &schema.Miner{
+	return d.Paths
+}
+
+// miner assembles the configured frequent-path miner.
+func (p *Pipeline) miner() *schema.Miner {
+	return &schema.Miner{
 		SupThreshold:   p.cfg.SupThreshold,
 		RatioThreshold: p.cfg.RatioThreshold,
 		Constraints:    p.cfg.Constraints,
 		Set:            p.set,
 		Tracer:         p.tr,
 	}
-	s := m.Discover(paths)
+}
+
+// mineStats mines accumulated corpus statistics into the majority schema,
+// applying the configured unification step — the single mining entry point
+// shared by DiscoverSchema and BuildStream.
+func (p *Pipeline) mineStats(acc *schema.Accumulator) *schema.Schema {
+	s := p.miner().DiscoverStats(acc)
 	if p.cfg.UnifySimilar > 0 {
 		schema.Unify(s, p.cfg.UnifySimilar)
 	}
 	return s
+}
+
+// DiscoverSchema mines the majority schema over converted documents. Path
+// extraction is timed under obs.StageExtract (once per document, cached on
+// the Document) and mining under obs.StageMine.
+func (p *Pipeline) DiscoverSchema(docs []*Document) *schema.Schema {
+	acc := schema.NewAccumulator(0)
+	for i, d := range docs {
+		acc.Add(i, p.ExtractPaths(d))
+	}
+	return p.mineStats(acc)
 }
 
 // DeriveDTD turns a schema into a DTD with the configured options, timed

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"webrev/internal/dom"
+	"webrev/internal/mapping"
+	"webrev/internal/obs"
+	"webrev/internal/schema"
+	"webrev/internal/xmlout"
+)
+
+// StreamSink receives each document of a streaming build as its DTD-guided
+// mapping finishes. Documents arrive in input order (an in-order emitter
+// runs ahead of the mapping workers, so delivery starts as soon as the
+// first document's mapping is done, not after all of them). A non-nil error
+// stops further deliveries and is returned by BuildStreamTo; mapping of the
+// remaining documents still completes.
+type StreamSink func(doc *Document, conformed *dom.Node, stats mapping.EditStats) error
+
+// BuildStream runs the complete pipeline over a channel of sources: the
+// streaming counterpart of Build. Documents are converted and their schema
+// statistics folded into per-worker mergeable accumulators as they arrive
+// (see schema.Accumulator), so schema discovery overlaps document
+// production — a crawl (AcquireStream), a generator, or any other producer
+// — instead of waiting behind it. Once the input channel closes, the shard
+// statistics merge (obs.StageMerge), the majority schema is mined and the
+// DTD derived exactly as in Build, and every document is mapped to conform.
+//
+// Memory stays bounded while the input is open: at most Config.MaxInFlight
+// documents are held between acceptance and statistics fold, and a
+// document's HTML source is dropped as soon as its conversion finishes
+// (only the converted XML tree is retained for the mapping stage).
+// Acceptance blocks when the cap is reached, propagating backpressure to
+// the producer. The peak level is recorded on the
+// obs.GaugeStreamInFlightPeak gauge.
+//
+// Given the same sources in the same order, BuildStream's repository is
+// byte-identical to Build's: per-document work is deterministic and the
+// accumulator merge is exactly order-independent.
+//
+// On context cancellation the build abandons its result and returns the
+// context error after its workers drain.
+func (p *Pipeline) BuildStream(ctx context.Context, in <-chan Source) (*Repository, error) {
+	return p.BuildStreamTo(ctx, in, nil)
+}
+
+// BuildStreamTo is BuildStream with a sink receiving each conformed
+// document as its mapping finishes; see StreamSink. A nil sink is allowed.
+func (p *Pipeline) BuildStreamTo(ctx context.Context, in <-chan Source, sink StreamSink) (*Repository, error) {
+	workers := p.cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	capDocs := p.cfg.MaxInFlight
+	if capDocs <= 0 {
+		capDocs = 4 * workers
+	}
+	if workers > capDocs {
+		// The cap is a hard memory bound: never run more workers than
+		// documents allowed in flight.
+		workers = capDocs
+	}
+
+	var (
+		mu       sync.Mutex
+		docs     []*Document
+		inFlight int64
+		peak     int64
+	)
+	shards := make([]*schema.Accumulator, workers)
+	// jobs is buffered to the cap so a burst of arrivals (a crawler
+	// finishing a fetch window) is accepted immediately and converted
+	// during the producer's next idle period; the semaphore, not this
+	// buffer, is what bounds held documents.
+	jobs := make(chan streamJob, capDocs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, capDocs)
+	for w := 0; w < workers; w++ {
+		shards[w] = schema.NewAccumulator(0)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := range jobs {
+				d := p.Convert(j.src.Name, j.src.HTML)
+				j.src.HTML = "" // conversion done; drop the raw source
+				shards[w].Add(j.idx, p.ExtractPaths(d))
+				mu.Lock()
+				for len(docs) <= j.idx {
+					docs = append(docs, nil)
+				}
+				docs[j.idx] = d
+				mu.Unlock()
+				cur := atomic.AddInt64(&inFlight, -1)
+				if p.tr.Enabled() {
+					p.tr.Set(obs.GaugeStreamInFlight, cur)
+				}
+				<-sem
+				// Yield between documents. A buffered jobs queue means a
+				// worker draining a burst never blocks, and on few-core
+				// machines an unbroken conversion slice starves the
+				// producer — a crawler gets its next fetch round dispatched
+				// late, delaying the very idle time this worker should be
+				// filling. The explicit yield keeps producer dispatch
+				// latency bounded by one document, not one burst.
+				runtime.Gosched()
+			}
+		}(w)
+	}
+
+	// Feed: reserve an in-flight slot before accepting a document, so at
+	// most capDocs documents are ever held between acceptance and fold.
+	n := 0
+	var feedErr error
+feed:
+	for {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			feedErr = ctx.Err()
+			break feed
+		}
+		select {
+		case <-ctx.Done():
+			<-sem
+			feedErr = ctx.Err()
+			break feed
+		case src, ok := <-in:
+			if !ok {
+				<-sem
+				break feed
+			}
+			cur := atomic.AddInt64(&inFlight, 1)
+			for {
+				old := atomic.LoadInt64(&peak)
+				if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+					break
+				}
+			}
+			if p.tr.Enabled() {
+				p.tr.Set(obs.GaugeStreamInFlight, cur)
+			}
+			jobs <- streamJob{idx: n, src: src}
+			n++
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if p.tr.Enabled() {
+		p.tr.Set(obs.GaugeStreamInFlight, 0)
+		p.tr.Set(obs.GaugeStreamInFlightPeak, atomic.LoadInt64(&peak))
+		p.tr.Set(obs.GaugeStreamShards, int64(workers))
+	}
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+
+	// All statistics are in; combine the shards and mine once.
+	sp := p.tr.StartSpan(obs.StageMerge)
+	merged := shards[0]
+	for _, s := range shards[1:] {
+		if err := merged.Merge(s); err != nil {
+			sp.End()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	sp.End()
+
+	repo := &Repository{
+		Docs:      docs,
+		Conformed: make([]*dom.Node, n),
+		MapStats:  make([]mapping.EditStats, n),
+	}
+	repo.Schema = p.mineStats(merged)
+	repo.DTD = p.DeriveDTD(repo.Schema)
+
+	mapDoc := func(i int) {
+		repo.Conformed[i], repo.MapStats[i] = mapping.ConformTraced(repo.Docs[i].XML, repo.DTD, p.tr)
+	}
+	var sinkErr error
+	if sink == nil {
+		p.forEach(n, mapDoc)
+	} else {
+		// Stream conformance out: an in-order emitter delivers document i
+		// the moment documents 0..i have all finished mapping, while later
+		// documents are still being mapped.
+		done := make(chan int, n)
+		go func() {
+			p.forEach(n, func(i int) {
+				mapDoc(i)
+				done <- i
+			})
+			close(done)
+		}()
+		ready := make([]bool, n)
+		emitted := 0
+		for i := range done {
+			ready[i] = true
+			for emitted < n && ready[emitted] {
+				if sinkErr == nil {
+					sinkErr = sink(repo.Docs[emitted], repo.Conformed[emitted], repo.MapStats[emitted])
+				}
+				emitted++
+			}
+		}
+	}
+	if p.tr.Enabled() {
+		var out int64
+		for _, c := range repo.Conformed {
+			out += int64(len(xmlout.Marshal(c)))
+		}
+		p.tr.Add(obs.CtrBytesOut, out)
+	}
+	repo.Stages = obs.StagesOf(p.tr)
+	if sinkErr != nil {
+		return repo, fmt.Errorf("core: stream sink: %w", sinkErr)
+	}
+	return repo, nil
+}
+
+// streamJob carries one accepted source and its corpus index to a
+// conversion worker.
+type streamJob struct {
+	idx int
+	src Source
+}
+
+// SourceChan adapts a slice of sources into the channel BuildStream
+// consumes, for callers whose corpus is already materialized.
+func SourceChan(sources []Source) <-chan Source {
+	ch := make(chan Source)
+	go func() {
+		for _, s := range sources {
+			ch <- s
+		}
+		close(ch)
+	}()
+	return ch
+}

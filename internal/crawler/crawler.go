@@ -149,14 +149,34 @@ func (c *Crawler) Crawl(seed string) ([]Page, error) {
 // so far plus a Report; the error is non-nil only for an unusable seed or
 // a canceled/expired context (partial pages are still returned then).
 func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Report, error) {
+	var pages []Page
+	rep, err := c.CrawlTo(ctx, seed, func(p Page) { pages = append(pages, p) })
+	return pages, rep, err
+}
+
+// CrawlTo is the streaming form of CrawlContext: emit receives each fetched
+// page as soon as its fetch completes, in the same deterministic order
+// CrawlContext returns, instead of the pages accumulating until the crawl
+// ends. emit runs synchronously on the crawl loop, so a slow consumer —
+// e.g. a streaming build at its in-flight cap — backpressures the crawl
+// itself; no unbounded page buffer forms anywhere. The crawl-and-build path
+// (AcquireStream + BuildStream in core) is built on this.
+func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*Report, error) {
 	start := time.Now()
-	client := c.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
 	workers := c.Workers
 	if workers <= 0 {
 		workers = 8
+	}
+	client := c.Client
+	if client == nil {
+		// http.DefaultClient keeps only two idle connections per host, so a
+		// worker pool hammering one site re-dials most fetches every wave.
+		// Give the pool one reusable connection per worker instead; the
+		// idle connections are torn down when the crawl ends.
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = workers
+		defer t.CloseIdleConnections()
+		client = &http.Client{Transport: t}
 	}
 	maxPages := c.MaxPages
 	if maxPages <= 0 {
@@ -174,12 +194,11 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 	if err != nil {
 		rep.Wall = time.Since(start)
 		rep.Record(c.Tracer)
-		return nil, rep, fmt.Errorf("crawler: bad seed: %w", err)
+		return rep, fmt.Errorf("crawler: bad seed: %w", err)
 	}
 
 	visited := map[string]bool{seedURL.String(): true}
 	frontier := []string{seedURL.String()}
-	var pages []Page
 
 	// One fixed worker pool serves the whole crawl (the ConvertAll
 	// pattern): a 10k-URL level costs Workers goroutines, not 10k.
@@ -200,6 +219,21 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 		window = 8
 	}
 
+	// Emission is deferred by one window: a window's pages are handed to
+	// emit only after the next window's first wave of requests is on the
+	// wire, so a synchronous consumer (a streaming build converting each
+	// page) does its CPU work while the crawler is waiting on the network,
+	// not between a window finishing and the next one being dispatched.
+	// Emission order is unchanged — pages still leave in fetch order — and
+	// the buffer never holds more than one window of pages.
+	var pending []Page
+	flush := func() {
+		for _, p := range pending {
+			emit(p)
+		}
+		pending = pending[:0]
+	}
+
 	stop := false
 	for depth := 0; depth <= maxDepth && len(frontier) > 0 && !stop; depth++ {
 		var next []string
@@ -212,7 +246,7 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 				stop = true
 				break
 			}
-			budget := maxPages - len(pages)
+			budget := maxPages - rep.Fetched
 			if budget <= 0 {
 				stop = true
 				break
@@ -236,7 +270,15 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 			wwg.Add(len(batch))
 			for i, u := range batch {
 				jobs <- fetchJob{res: &results[i], url: u, wg: &wwg}
+				if i == workers-1 {
+					// The first wave of this window is in flight; deliver
+					// the previous window's pages while it fetches. Later
+					// sends block until a worker frees up, which paces the
+					// rest of the window anyway.
+					flush()
+				}
 			}
+			flush()
 			wwg.Wait()
 			for _, res := range results {
 				rep.Retried += res.attempts - 1
@@ -262,7 +304,7 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 				} else {
 					p.OnTopic = true
 				}
-				pages = append(pages, p)
+				pending = append(pending, p)
 				base, err := url.Parse(res.url)
 				if err != nil {
 					continue
@@ -296,12 +338,15 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 	}
 	// The next level that was never attempted (depth cap or early stop).
 	rep.Skipped += len(frontier)
+	// Deliver the last window's pages; every successfully fetched page is
+	// emitted even when the crawl stopped early.
+	flush()
 	rep.Wall = time.Since(start)
 	rep.Record(c.Tracer)
 	if rep.Canceled {
-		return pages, rep, ctx.Err()
+		return rep, ctx.Err()
 	}
-	return pages, rep, nil
+	return rep, nil
 }
 
 // fetchJob is one unit of work for the crawl's fixed worker pool.

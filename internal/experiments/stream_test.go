@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"webrev/internal/obs"
+)
+
+func TestRunStreamComparison(t *testing.T) {
+	coll := obs.NewCollector()
+	r, err := RunStreamComparison(8, 1, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Docs != 8 || r.Snapshot == nil {
+		t.Fatalf("incomplete result: %+v", r)
+	}
+	if !r.Identical {
+		t.Fatal("streaming output differs from batch output")
+	}
+	if r.PeakInFlight < 1 {
+		t.Fatalf("peak in-flight = %d, want >= 1", r.PeakInFlight)
+	}
+	if r.BatchTotal <= 0 || r.StreamTotal <= 0 {
+		t.Fatalf("wall clocks not measured: batch %v, stream %v", r.BatchTotal, r.StreamTotal)
+	}
+	for _, stage := range []string{"e9.batch.total", "e9.stream.total", obs.StageMerge} {
+		if r.Snapshot.Stages[stage].Count == 0 {
+			t.Fatalf("stage %q missing from snapshot", stage)
+		}
+	}
+	rep := r.Report()
+	for _, want := range []string{"E9 —", "batch:", "stream:", "outputs identical: true"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -121,6 +121,24 @@ func (c *Collector) Counter(name string) int64 {
 	return c.counters[name]
 }
 
+// Gauge returns the named gauge's value (0 when never set).
+func (c *Collector) Gauge(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gauges[name]
+}
+
+// SetMax raises the named gauge to v if v is larger — the high-water-mark
+// update used by the streaming build's peak in-flight gauge. Atomic under
+// the collector's lock, so concurrent workers cannot lose a peak.
+func (c *Collector) SetMax(name string, v int64) {
+	c.mu.Lock()
+	if v > c.gauges[name] {
+		c.gauges[name] = v
+	}
+	c.mu.Unlock()
+}
+
 // Reset clears all recorded stages, counters and gauges.
 func (c *Collector) Reset() {
 	c.mu.Lock()

@@ -57,6 +57,7 @@ const (
 	StageDerive  = "dtd.derive"       // schema → DTD
 	StageMap     = "map.conform"      // DTD-guided document mapping, per document
 	StageCrawl   = "crawl"            // acquisition crawl (bridged from crawler.Report)
+	StageMerge   = "schema.merge"     // merging per-shard schema accumulators (streaming build)
 )
 
 // PipelineStages lists the stages a full Build exercises, in order.
@@ -85,6 +86,22 @@ const (
 	CtrCrawlSkipped   = "crawl.skipped"
 	CtrCrawlTruncated = "crawl.truncated"
 	CtrCrawlBytes     = "crawl.bytes"
+)
+
+// Canonical gauge names. Gauges record point-in-time levels (Set), not
+// accumulating totals (Add).
+const (
+	// GaugeStreamInFlight is the number of documents currently inside the
+	// streaming build — accepted from the input channel but not yet folded
+	// into the schema statistics. Bounded by the configured in-flight cap.
+	GaugeStreamInFlight = "stream.inflight"
+	// GaugeStreamInFlightPeak is the high-water mark of
+	// GaugeStreamInFlight over a whole streaming build; the bounded-memory
+	// guarantee is peak <= cap.
+	GaugeStreamInFlightPeak = "stream.inflight.peak"
+	// GaugeStreamShards is the number of per-worker schema accumulators the
+	// streaming build merged.
+	GaugeStreamShards = "stream.shards"
 )
 
 // MapOpCounter returns the counter name for one conformance-mapping edit

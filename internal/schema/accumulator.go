@@ -1,0 +1,182 @@
+package schema
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Accumulator folds the per-document label-path statistics the miner needs
+// into a mergeable summary, so schema discovery can run incrementally: N
+// workers each fold their shard of the corpus with Add, the shards combine
+// with Merge (an exactly commutative and associative operation), and
+// Miner.DiscoverStats mines the combined summary — producing the same
+// schema, support and supportRatio values as Miner.Discover over the whole
+// corpus in one slice. This is what lets the streaming build (core.
+// BuildStream) drop each document's tree as soon as its statistics are
+// folded, keeping memory bounded by the summary instead of the corpus.
+//
+// Exactness is what makes Merge order-free. Document counts are integers;
+// per-document average child positions are accumulated as big.Rat sums
+// (float addition is not associative, so a float accumulator would make the
+// result depend on shard boundaries); child-sequence samples are tagged with
+// the document's corpus index so the final sample is the same first-N
+// prefix regardless of which shard saw which document.
+type Accumulator struct {
+	// rep is the sibling-multiplicity threshold (§3.3) repetition counts
+	// were folded with; accumulators only merge when they agree.
+	rep   int
+	docs  int
+	paths map[string]*pathAgg
+}
+
+// pathAgg aggregates one label path's statistics across the documents a
+// shard has seen.
+type pathAgg struct {
+	docs    int      // documents containing the path (support count)
+	posSum  *big.Rat // exact sum of per-document average child positions
+	posDocs int      // documents contributing to posSum
+	repDocs int      // documents where the path repeats (Mult >= rep)
+	seqs    []docSeqs
+	nseqs   int // total sequences held across seqs
+}
+
+// docSeqs is one document's child-label sequence sample for a path, tagged
+// with the document's corpus index so samples stay in corpus order across
+// shards.
+type docSeqs struct {
+	doc  int
+	seqs [][]string
+}
+
+// NewAccumulator returns an empty accumulator using the given repetition
+// threshold (<= 0 selects DefaultRepThreshold).
+func NewAccumulator(repThreshold int) *Accumulator {
+	if repThreshold <= 0 {
+		repThreshold = DefaultRepThreshold
+	}
+	return &Accumulator{rep: repThreshold, paths: make(map[string]*pathAgg)}
+}
+
+// RepThreshold returns the repetition threshold the accumulator folds with.
+func (a *Accumulator) RepThreshold() int { return a.rep }
+
+// Docs returns the number of documents folded in so far.
+func (a *Accumulator) Docs() int { return a.docs }
+
+// Add folds one document's path statistics. doc is the document's index in
+// the corpus; each index must be folded into exactly one accumulator of a
+// merge group, and the combined result is identical to folding every
+// document into a single accumulator in index order.
+func (a *Accumulator) Add(doc int, d *DocPaths) {
+	a.docs++
+	for p := range d.Paths {
+		ag := a.paths[p]
+		if ag == nil {
+			ag = &pathAgg{}
+			a.paths[p] = ag
+		}
+		ag.docs++
+		if n := d.PosCount[p]; n > 0 {
+			// Positions are small integers, so PosSum is an exact
+			// integer-valued float; the per-document average enters the sum
+			// as the exact rational PosSum/PosCount.
+			r := new(big.Rat).SetFrac64(int64(d.PosSum[p]), int64(n))
+			if ag.posSum == nil {
+				ag.posSum = r
+			} else {
+				ag.posSum.Add(ag.posSum, r)
+			}
+			ag.posDocs++
+		}
+		if d.Mult[p] >= a.rep {
+			ag.repDocs++
+		}
+		if seqs := d.ChildSeqs[p]; len(seqs) > 0 {
+			ag.seqs = append(ag.seqs, docSeqs{doc: doc, seqs: seqs})
+			ag.nseqs += len(seqs)
+			ag.compact()
+		}
+	}
+}
+
+// Merge folds b into a. It is commutative and associative: any merge tree
+// over a set of accumulators yields identical statistics, provided each
+// document index was folded exactly once and both sides used the same
+// repetition threshold.
+func (a *Accumulator) Merge(b *Accumulator) error {
+	if a.rep != b.rep {
+		return fmt.Errorf("schema: merging accumulators with different repetition thresholds (%d vs %d)", a.rep, b.rep)
+	}
+	a.docs += b.docs
+	for p, bg := range b.paths {
+		ag := a.paths[p]
+		if ag == nil {
+			a.paths[p] = bg
+			continue
+		}
+		ag.docs += bg.docs
+		if bg.posSum != nil {
+			if ag.posSum == nil {
+				ag.posSum = bg.posSum
+			} else {
+				ag.posSum.Add(ag.posSum, bg.posSum)
+			}
+		}
+		ag.posDocs += bg.posDocs
+		ag.repDocs += bg.repDocs
+		ag.seqs = append(ag.seqs, bg.seqs...)
+		ag.nseqs += bg.nseqs
+		ag.compact()
+	}
+	return nil
+}
+
+// compact bounds the sequence sample. Only the first maxSeqSamples
+// sequences in corpus order can ever be reported, and a document that has
+// at least maxSeqSamples sequences from lower-indexed documents ahead of it
+// within this accumulator has at least as many ahead of it globally — so
+// everything past that point is dropped without affecting the merged
+// result. Runs only when the sample has grown well past the cap, keeping
+// Add amortized cheap.
+func (g *pathAgg) compact() {
+	if g.nseqs <= 2*maxSeqSamples {
+		return
+	}
+	sort.Slice(g.seqs, func(i, j int) bool { return g.seqs[i].doc < g.seqs[j].doc })
+	kept, total := 0, 0
+	for kept < len(g.seqs) && total < maxSeqSamples {
+		total += len(g.seqs[kept].seqs)
+		kept++
+	}
+	g.seqs = g.seqs[:kept:kept]
+	g.nseqs = total
+}
+
+// sample returns up to maxSeqSamples sequences for the path in corpus
+// order — the same prefix Miner.Discover collects when it walks documents
+// in slice order.
+func (g *pathAgg) sample() [][]string {
+	sort.Slice(g.seqs, func(i, j int) bool { return g.seqs[i].doc < g.seqs[j].doc })
+	var out [][]string
+	for _, ds := range g.seqs {
+		for _, s := range ds.seqs {
+			if len(out) >= maxSeqSamples {
+				return out
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// avgPos returns the mean of the per-document average child positions, and
+// whether any document contributed one.
+func (g *pathAgg) avgPos() (float64, bool) {
+	if g.posDocs == 0 {
+		return 0, false
+	}
+	q := new(big.Rat).Quo(g.posSum, new(big.Rat).SetInt64(int64(g.posDocs)))
+	f, _ := q.Float64()
+	return f, true
+}

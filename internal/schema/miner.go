@@ -77,17 +77,27 @@ type Schema struct {
 }
 
 // Discover mines the majority schema from the corpus. It never fails; an
-// empty corpus yields an empty schema.
+// empty corpus yields an empty schema. It is equivalent to folding every
+// document into one Accumulator in slice order and mining the summary with
+// DiscoverStats — which is exactly what it does, so the batch and streaming
+// build paths share a single mining implementation.
 func (m *Miner) Discover(docs []*DocPaths) *Schema {
+	a := NewAccumulator(m.RepThreshold)
+	for i, d := range docs {
+		a.Add(i, d)
+	}
+	return m.DiscoverStats(a)
+}
+
+// DiscoverStats mines the majority schema from accumulated corpus
+// statistics — the summary any merge tree of per-shard Accumulators
+// produces. It never fails; an empty accumulator yields an empty schema.
+func (m *Miner) DiscoverStats(a *Accumulator) *Schema {
 	tr := obs.OrNop(m.Tracer)
 	sp := tr.StartSpan(obs.StageMine)
 	defer sp.End()
-	rep := m.RepThreshold
-	if rep <= 0 {
-		rep = DefaultRepThreshold
-	}
-	s := &Schema{Docs: len(docs)}
-	if len(docs) == 0 {
+	s := &Schema{Docs: a.Docs()}
+	if a.Docs() == 0 {
 		return s
 	}
 	defer func() {
@@ -97,20 +107,14 @@ func (m *Miner) Discover(docs []*DocPaths) *Schema {
 			tr.Add(obs.CtrPathsFrequent, int64(s.CountNodes()))
 		}
 	}()
-	n := float64(len(docs))
+	n := float64(a.Docs())
 
-	// Document frequency per path, computed once. DocPaths.Paths is
-	// prefix-closed by construction, so freq is antitone along prefixes.
-	freq := make(map[string]int)
-	for _, d := range docs {
-		for p := range d.Paths {
-			freq[p]++
-		}
-	}
-	// Child labels per path, from the union trie.
+	// Child labels per path, from the union trie. DocPaths.Paths is
+	// prefix-closed by construction, so the accumulated document frequency
+	// is antitone along prefixes.
 	children := make(map[string]map[string]bool)
 	rootLabels := make(map[string]bool)
-	for p := range freq {
+	for p := range a.paths {
 		parent := ParentPath(p)
 		if parent == "" {
 			rootLabels[p] = true
@@ -138,7 +142,12 @@ func (m *Miner) Discover(docs []*DocPaths) *Schema {
 			}
 		}
 		s.Explored++
-		sup := float64(freq[path]) / n
+		ag := a.paths[path]
+		contain := 0
+		if ag != nil {
+			contain = ag.docs
+		}
+		sup := float64(contain) / n
 		ratio := 1.0
 		if parentSup > 0 {
 			ratio = sup / parentSup
@@ -152,32 +161,14 @@ func (m *Miner) Discover(docs []*DocPaths) *Schema {
 			Support: sup,
 			Ratio:   ratio,
 		}
-		// Aggregate ordering and repetition statistics over containing docs.
-		posSum, posN, repDocs, contain := 0.0, 0, 0, 0
-		for _, d := range docs {
-			if !d.Paths[path] {
-				continue
-			}
-			contain++
-			if ap, ok := d.AvgPos(path); ok {
-				posSum += ap
-				posN++
-			}
-			if d.Mult[path] >= rep {
-				repDocs++
-			}
-			for _, seq := range d.ChildSeqs[path] {
-				if len(node.Seqs) < maxSeqSamples {
-					node.Seqs = append(node.Seqs, seq)
-				}
-			}
-		}
-		if posN > 0 {
-			node.AvgPos = posSum / float64(posN)
+		// Ordering and repetition statistics were aggregated at fold time.
+		if ap, ok := ag.avgPos(); ok {
+			node.AvgPos = ap
 		}
 		if contain > 0 {
-			node.RepFrac = float64(repDocs) / float64(contain)
+			node.RepFrac = float64(ag.repDocs) / float64(contain)
 		}
+		node.Seqs = ag.sample()
 		var labels []string
 		for l := range children[path] {
 			labels = append(labels, l)

@@ -106,21 +106,30 @@ func Extract(root *dom.Node) *DocPaths {
 	return d
 }
 
-// ExtractAll reduces every document to its label-path representation under
-// one obs.StageExtract span, counting the label-path prefixes extracted
-// (CtrPathsExtracted sums over documents). tr may be nil.
-func ExtractAll(roots []*dom.Node, tr obs.Tracer) []*DocPaths {
+// ExtractTraced reduces one document to its label-path representation under
+// an obs.StageExtract span, counting the label-path prefixes extracted
+// (CtrPathsExtracted). tr may be nil. This is the per-document unit both
+// the batch and streaming builds share, so extraction happens exactly once
+// per document no matter which path mines it or how often.
+func ExtractTraced(root *dom.Node, tr obs.Tracer) *DocPaths {
 	tr = obs.OrNop(tr)
 	sp := tr.StartSpan(obs.StageExtract)
-	defer sp.End()
-	out := make([]*DocPaths, len(roots))
-	paths := 0
-	for i, r := range roots {
-		out[i] = Extract(r)
-		paths += len(out[i].Paths)
-	}
+	d := Extract(root)
+	sp.End()
 	if tr.Enabled() {
-		tr.Add(obs.CtrPathsExtracted, int64(paths))
+		tr.Add(obs.CtrPathsExtracted, int64(len(d.Paths)))
+	}
+	return d
+}
+
+// ExtractAll reduces every document to its label-path representation,
+// recording one obs.StageExtract span per document and counting the
+// label-path prefixes extracted (CtrPathsExtracted sums over documents).
+// tr may be nil.
+func ExtractAll(roots []*dom.Node, tr obs.Tracer) []*DocPaths {
+	out := make([]*DocPaths, len(roots))
+	for i, r := range roots {
+		out[i] = ExtractTraced(r, tr)
 	}
 	return out
 }
