@@ -8,7 +8,7 @@ GO ?= go
 # Per-target budget for `make fuzz` (and the fuzz leg of `make check`).
 FUZZTIME ?= 5s
 
-.PHONY: build test vet race fuzz bench bench-stream-short docs-lint check
+.PHONY: build test vet race fuzz bench bench-stream-short docs-lint chaos check
 
 build:
 	$(GO) build ./...
@@ -53,4 +53,12 @@ bench-stream-short:
 docs-lint:
 	$(GO) run ./cmd/docslint
 
-check: build vet test race fuzz docs-lint bench-stream-short
+# Fault-isolation gate: inject panics, errors and delays into the convert
+# and map stages of both build paths and require the build to finish with
+# the failures quarantined and the surviving output byte-identical to a
+# clean run; also kills and resumes a checkpointed streaming build. See
+# ARCHITECTURE.md, "Failure domains & recovery".
+chaos:
+	$(GO) test -short -run 'TestChaos|TestBuildStreamCheckpoint' ./internal/core/
+
+check: build vet test race fuzz docs-lint chaos bench-stream-short

@@ -14,7 +14,7 @@
 //	crawl [-n 30] [-distractors 10] [-seed 1] [-workers 8]
 //	      [-timeout 10s] [-retries 2] [-max-pages 0] [-max-failures 0]
 //	      [-fault-rate 0] [-fault-seed 1]
-//	      [-stream] [-inflight 0]
+//	      [-stream] [-inflight 0] [-checkpoint dir] [-quarantine dir]
 //	      [-metrics snap.json] [-pprof addr]
 //
 // With -stream the crawl feeds the full pipeline as it runs (crawl-and-
@@ -23,7 +23,10 @@
 // the crawl ends, and the conformed repository is reported — without ever
 // materializing the intermediate corpus. -inflight caps how many documents
 // the streaming build holds at once (its backpressure bound; 0 picks the
-// default of 4x the conversion workers). See ARCHITECTURE.md.
+// default of 4x the conversion workers). With -checkpoint DIR the
+// streaming build snapshots its state there and a rerun after Ctrl-C
+// resumes instead of restarting; -quarantine DIR persists documents the
+// build dropped, for `webrev quarantine`. See ARCHITECTURE.md.
 //
 // -metrics FILE writes a JSON snapshot of the run's stage timing and
 // counters (the same format the pipeline's observability layer emits);
@@ -63,6 +66,8 @@ type options struct {
 	faultSeed   int64
 	stream      bool
 	inFlight    int
+	checkpoint  string
+	quarantine  string
 	metricsOut  string
 	pprofAddr   string
 }
@@ -81,6 +86,8 @@ func main() {
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed")
 	flag.BoolVar(&o.stream, "stream", false, "crawl-and-build: stream on-topic pages through the full pipeline while crawling")
 	flag.IntVar(&o.inFlight, "inflight", 0, "streaming build's in-flight document cap (0 = 4x conversion workers)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "with -stream: snapshot build state to this directory and resume from it on rerun")
+	flag.StringVar(&o.quarantine, "quarantine", "", "persist documents the build quarantined to this directory (see `webrev quarantine`)")
 	flag.StringVar(&o.metricsOut, "metrics", "", "write a JSON metrics snapshot of the crawl to this file")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve /debug/pprof, /debug/vars and /metrics on this address during the crawl")
 	flag.Parse()
@@ -207,11 +214,13 @@ func run(ctx context.Context, o options) error {
 // intermediate corpus is ever materialized.
 func runStream(ctx context.Context, o options, c *crawler.Crawler, seedURL string, coll *obs.Collector) error {
 	p, err := core.New(core.Config{
-		Concepts:    concept.ResumeConcepts(),
-		Constraints: concept.ResumeConstraints(),
-		RootName:    "resume",
-		MaxInFlight: o.inFlight,
-		Tracer:      coll,
+		Concepts:      concept.ResumeConcepts(),
+		Constraints:   concept.ResumeConstraints(),
+		RootName:      "resume",
+		MaxInFlight:   o.inFlight,
+		Tracer:        coll,
+		CheckpointDir: o.checkpoint,
+		QuarantineDir: o.quarantine,
 	})
 	if err != nil {
 		return err
@@ -230,6 +239,10 @@ func runStream(ctx context.Context, o options, c *crawler.Crawler, seedURL strin
 	snap := coll.Snapshot()
 	fmt.Printf("crawled and built %d on-topic documents; schema %d paths; DTD %d elements\n",
 		len(repo.Docs), len(repo.Schema.Paths()), repo.DTD.Len())
+	if len(repo.Quarantined) > 0 {
+		fmt.Printf("quarantined %d of %d documents (failure ratio %.1f%%)\n",
+			len(repo.Quarantined), repo.TotalInput, repo.FailureRatio()*100)
+	}
 	fmt.Printf("peak in-flight documents %d (cap %d); %d statistic shards merged\n",
 		snap.Gauges[obs.GaugeStreamInFlightPeak], o.inFlight, snap.Gauges[obs.GaugeStreamShards])
 	fmt.Printf("pre-mapping conformance %.1f%%, total mapping cost %d edits\n",

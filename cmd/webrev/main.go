@@ -8,6 +8,7 @@
 //	webrev schema   [-sup 0.5] [-ratio 0.1] file.html...
 //	webrev dtd      [-sup 0.5] [-ratio 0.1] file.html...
 //	webrev build    [-out dir] [-metrics snap.json] [-pprof addr] file.html...
+//	webrev quarantine -dir DIR [list|replay]           # inspect / replay failed documents
 //	webrev experiments [-run E1,...] [-docs N] [-seed N] [-metrics snap.json] [-pprof addr]
 //
 // build and experiments take observability flags: -metrics FILE writes a
@@ -52,6 +53,8 @@ func main() {
 		err = cmdQuery(os.Args[2:], os.Stdout)
 	case "suggest":
 		err = cmdSuggest(os.Args[2:], os.Stdout)
+	case "quarantine":
+		err = cmdQuarantine(os.Args[2:], os.Stdout)
 	case "experiments":
 		err = cmdExperiments(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
@@ -77,7 +80,8 @@ commands:
   build        full pipeline: convert, discover, derive, conform
   query        evaluate a label-path query against a built repository
   suggest      propose new concept instances from unidentified text
-  experiments  regenerate the paper's evaluation (E1-E9)
+  quarantine   list documents a build quarantined, or replay them after a fix
+  experiments  regenerate the paper's evaluation (E1-E10)
 
 build and experiments accept -metrics FILE (JSON stage-metrics snapshot)
 and -pprof ADDR (live /debug/pprof + /metrics endpoint).
@@ -307,9 +311,89 @@ func cmdSuggest(args []string, w io.Writer) error {
 	return nil
 }
 
+// cmdQuarantine inspects a quarantine directory (Config.QuarantineDir):
+// `list` prints each failed document's record, and `replay` re-converts
+// the stored HTML through a fresh pipeline — the round trip after a fix —
+// removing entries that now convert cleanly when -rm is set.
+func cmdQuarantine(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("quarantine", flag.ExitOnError)
+	dir := fs.String("dir", "", "quarantine directory a build wrote (QuarantineDir)")
+	root := fs.String("root", "resume", "root element name for replay")
+	rm := fs.Bool("rm", false, "on replay, remove entries that convert cleanly")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("usage: webrev quarantine -dir DIR [list|replay]")
+	}
+	action := "list"
+	if fs.NArg() > 0 {
+		action = fs.Arg(0)
+	}
+	if action != "list" && action != "replay" {
+		return fmt.Errorf("unknown quarantine action %q (want list or replay)", action)
+	}
+	store, err := core.OpenQuarantineStore(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := store.List()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "quarantine is empty")
+		return nil
+	}
+	switch action {
+	case "list":
+		fmt.Fprintf(w, "%-20s %-8s %-18s %-30s %s\n", "id", "kind", "stage", "document", "error")
+		for _, e := range entries {
+			errLine := e.Record.Err
+			if i := strings.IndexByte(errLine, '\n'); i >= 0 {
+				errLine = errLine[:i]
+			}
+			fmt.Fprintf(w, "%-20s %-8s %-18s %-30s %s\n",
+				e.ID, e.Record.Kind, e.Record.Stage, e.Record.URL, errLine)
+		}
+		fmt.Fprintf(w, "%d quarantined documents\n", len(entries))
+		return nil
+	case "replay":
+		p, err := newPipeline(*root, 0, 0)
+		if err != nil {
+			return err
+		}
+		fixed := 0
+		for _, e := range entries {
+			html, err := store.HTML(e.ID)
+			if err != nil {
+				return err
+			}
+			d, rec := p.TryConvert(e.Record.URL, html)
+			switch {
+			case d == nil:
+				fmt.Fprintf(w, "%-20s still failing: %s\n", e.ID, rec)
+			case rec != nil:
+				fmt.Fprintf(w, "%-20s degraded: %s\n", e.ID, rec.Err)
+			default:
+				fixed++
+				fmt.Fprintf(w, "%-20s ok (%d tokens, %.0f%% identified)\n",
+					e.ID, d.Stats.Tokens, d.Stats.IdentifiedRatio()*100)
+				if *rm {
+					if err := store.Remove(e.ID); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		fmt.Fprintf(w, "replayed %d documents, %d now convert cleanly\n", len(entries), fixed)
+		return nil
+	default:
+		return fmt.Errorf("unknown quarantine action %q (want list or replay)", action)
+	}
+}
+
 func cmdExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9", "comma-separated experiment ids")
+	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10", "comma-separated experiment ids")
 	docs := fs.Int("docs", 0, "override corpus size (0 = per-experiment default)")
 	seed := fs.Int64("seed", 1, "corpus seed")
 	metricsOut, pprofAddr := obsFlags(fs)
@@ -382,6 +466,13 @@ func cmdExperiments(args []string, w io.Writer) error {
 		if err := finish(); err != nil {
 			return err
 		}
+	}
+	if want["E10"] {
+		r, err := experiments.RunFaultTolerance(n(60), []float64{0, 0.1, 0.25, 0.75}, 0, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Report())
 	}
 	return nil
 }

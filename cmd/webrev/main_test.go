@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"webrev/internal/core"
 	"webrev/internal/obs"
 )
 
@@ -182,5 +183,83 @@ func TestCmdSuggest(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "candidate") && !strings.Contains(got, "no instance candidates") {
 		t.Fatalf("suggest output:\n%s", got)
+	}
+}
+
+// TestCmdQuarantineRoundTrip seeds a quarantine store directly (as a
+// faulty build would), lists it, replays it — the stored documents are
+// well-formed, so the replay "fixes" them — and checks -rm empties the
+// store: the full inspect-and-replay round trip.
+func TestCmdQuarantineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := core.OpenQuarantineStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, err := os.ReadFile(writeResume(t, t.TempDir(), "a.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha.html", "beta.html"} {
+		rec := core.FailureRecord{
+			Stage: obs.StageConvert,
+			URL:   name,
+			Kind:  core.FailPanic,
+			Err:   "injected panic",
+		}
+		if err := store.Put(rec, string(html)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var list strings.Builder
+	if err := cmdQuarantine([]string{"-dir", dir, "list"}, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"alpha.html", "beta.html", "panic", "injected panic", "2 quarantined"} {
+		if !strings.Contains(list.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, list.String())
+		}
+	}
+
+	var replay strings.Builder
+	if err := cmdQuarantine([]string{"-dir", dir, "-rm", "replay"}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(replay.String(), "2 now convert cleanly") {
+		t.Fatalf("replay did not fix the documents:\n%s", replay.String())
+	}
+
+	var after strings.Builder
+	if err := cmdQuarantine([]string{"-dir", dir, "list"}, &after); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after.String(), "quarantine is empty") {
+		t.Fatalf("store not emptied after replay -rm:\n%s", after.String())
+	}
+}
+
+// TestCmdQuarantineErrors covers the usage errors.
+func TestCmdQuarantineErrors(t *testing.T) {
+	var out strings.Builder
+	if err := cmdQuarantine(nil, &out); err == nil {
+		t.Fatal("expected usage error without -dir")
+	}
+	if err := cmdQuarantine([]string{"-dir", t.TempDir(), "explode"}, &out); err == nil {
+		t.Fatal("expected error for unknown action")
+	}
+}
+
+// TestCmdExperimentsE10 runs the fault-tolerance sweep end to end through
+// the CLI.
+func TestCmdExperimentsE10(t *testing.T) {
+	var out strings.Builder
+	if err := cmdExperiments([]string{"-run", "E10", "-docs", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E10", "fidelity", "quarantined"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("E10 output missing %q:\n%s", want, out.String())
+		}
 	}
 }

@@ -68,6 +68,10 @@ type Options struct {
 	// text rules and consolidation run, so visual sectioning is never
 	// recovered into nesting.
 	SkipGrouping bool
+	// Limits bounds the work one document may consume; over-limit input is
+	// truncated rather than failed (Stats.Truncated reports it). The zero
+	// value is unlimited.
+	Limits Limits
 	// Tracer receives sub-spans (convert.tokenize, convert.classify,
 	// convert.group, convert.consolidate) and token/concept counters. Nil
 	// means the no-op tracer: conversion pays nothing for instrumentation.
@@ -119,6 +123,27 @@ const (
 	SpanConsolidate = "convert.consolidate" // consolidation rule
 )
 
+// Limits bounds what one document's conversion may consume, so a single
+// pathological page (a machine-generated million-node table, a degenerate
+// thousand-deep nesting, an unbounded text blob) degrades gracefully
+// instead of stalling the pipeline. Zero fields are unlimited.
+type Limits struct {
+	// MaxDOMNodes caps the parsed DOM's node count; input past the cap is
+	// dropped (htmlparse.Limits.MaxNodes).
+	MaxDOMNodes int
+	// MaxDepth caps the parsed DOM's element nesting depth
+	// (htmlparse.Limits.MaxDepth).
+	MaxDepth int
+	// MaxTokens caps the tokens produced by the tokenization rule; text
+	// past the cap folds into parent vals uninspected.
+	MaxTokens int
+}
+
+// active reports whether any limit is set.
+func (l Limits) active() bool {
+	return l.MaxDOMNodes > 0 || l.MaxDepth > 0 || l.MaxTokens > 0
+}
+
 // Stats reports conversion measurements, including the identified /
 // unidentifiable token ratio the paper recommends as user feedback (§2.3.1).
 type Stats struct {
@@ -127,6 +152,9 @@ type Stats struct {
 	UnidentifiedTokens int // tokens passed to parent val
 	ConceptNodes       int // concept elements in the result
 	HTMLNodes          int // element nodes in the parsed input
+	// Truncated reports that a configured limit (Options.Limits) cut the
+	// document short: the result covers only the prefix within budget.
+	Truncated bool
 }
 
 // IdentifiedRatio returns the fraction of tokens related to a concept.
@@ -153,7 +181,10 @@ func New(set *concept.Set, opts Options) *Converter {
 // document tree rooted at an element named opts.RootName.
 func (c *Converter) Convert(htmlSrc string) (*dom.Node, Stats) {
 	sp := c.opts.Tracer.StartSpan(SpanParse)
-	doc := htmlparse.Parse(htmlSrc)
+	doc, truncated := htmlparse.ParseLimited(htmlSrc, htmlparse.Limits{
+		MaxNodes: c.opts.Limits.MaxDOMNodes,
+		MaxDepth: c.opts.Limits.MaxDepth,
+	})
 	if !c.opts.SkipTidy {
 		tidy.Clean(doc)
 	}
@@ -162,7 +193,9 @@ func (c *Converter) Convert(htmlSrc string) (*dom.Node, Stats) {
 	if body == nil {
 		body = doc
 	}
-	return c.ConvertTree(body)
+	root, stats := c.ConvertTree(body)
+	stats.Truncated = stats.Truncated || truncated
+	return root, stats
 }
 
 // ConvertTree restructures an already parsed (and optionally cleaned) HTML
@@ -246,6 +279,14 @@ func (c *Converter) applyTextRules(root *dom.Node, stats *Stats) {
 		at := parent.ChildIndex(tn)
 		tn.Detach()
 		for _, tok := range c.Tokenize(tn.Text) {
+			if max := c.opts.Limits.MaxTokens; max > 0 && stats.Tokens >= max {
+				// Token budget exhausted: the rest of the document's text
+				// folds into parent vals uninspected, preserving the
+				// information without paying for concept matching.
+				stats.Truncated = true
+				parent.AppendVal(tok)
+				continue
+			}
 			stats.Tokens++
 			nodes := c.applyInstanceRule(tok, parent, stats)
 			for _, nd := range nodes {

@@ -1,0 +1,69 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+
+	"webrev/internal/concept"
+)
+
+func limitedConverter(t *testing.T, lim Limits) *Converter {
+	t.Helper()
+	set, err := concept.NewSet(concept.Concept{Name: "skill", Instances: []string{"java", "go"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(set, Options{RootName: "doc", Limits: lim})
+}
+
+func TestConvertMaxTokens(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<html><body><p>")
+	for i := 0; i < 50; i++ {
+		b.WriteString("java; filler text; ")
+	}
+	b.WriteString("</p></body></html>")
+
+	c := limitedConverter(t, Limits{MaxTokens: 10})
+	root, stats := c.Convert(b.String())
+	if !stats.Truncated {
+		t.Fatal("token limit not reported as truncation")
+	}
+	if stats.Tokens > 10 {
+		t.Fatalf("tokenization produced %d tokens, limit was 10", stats.Tokens)
+	}
+	// Over-budget text is preserved as val, not dropped.
+	all := root.String()
+	if !strings.Contains(all, "filler text") {
+		t.Fatalf("over-budget text lost from output: %s", all)
+	}
+}
+
+func TestConvertMaxDOMNodes(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	for i := 0; i < 500; i++ {
+		b.WriteString("<p>go</p>")
+	}
+	b.WriteString("</body></html>")
+
+	c := limitedConverter(t, Limits{MaxDOMNodes: 50})
+	_, stats := c.Convert(b.String())
+	if !stats.Truncated {
+		t.Fatal("DOM node limit not reported as truncation")
+	}
+	if stats.HTMLNodes > 50 {
+		t.Fatalf("parsed %d element nodes, node limit was 50", stats.HTMLNodes)
+	}
+}
+
+func TestConvertUnlimitedNotTruncated(t *testing.T) {
+	c := limitedConverter(t, Limits{})
+	_, stats := c.Convert("<html><body><p>java; go</p></body></html>")
+	if stats.Truncated {
+		t.Fatal("unlimited conversion reported truncation")
+	}
+	if stats.Tokens == 0 {
+		t.Fatal("no tokens produced")
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"webrev/internal/obs"
+	"webrev/internal/schema"
+	"webrev/internal/xmlout"
+)
+
+// The checkpoint store makes BuildStream crash-resumable. The streaming
+// build's durable state is small and exactly mergeable: the per-worker
+// schema accumulators (see schema.Accumulator's JSON codec), the converted
+// XML of every folded document, and the quarantine log. A checkpoint
+// directory holds:
+//
+//	state.json    — ckptState: shard accumulator encodings, the folded
+//	                {index, source} list, and quarantined {index, record}
+//	                entries; written atomically (tmp + rename) every
+//	                Config.CheckpointEvery folds
+//	doc-%08d.xml  — one file per folded document, written at fold time
+//	                (converted documents are element-only trees with val
+//	                attributes, so xmlout round-trips them exactly)
+//
+// state.json is the authoritative manifest: doc files not listed in it
+// (a crash between a doc write and the next snapshot) are ignored on
+// resume. A resumed build restores the accumulators, re-registers the
+// quarantine log, skips the already-folded prefix of the source stream,
+// and — because accumulator merge is exactly commutative — produces output
+// byte-identical to an uninterrupted run.
+
+// ckptStateFile is the manifest filename inside a checkpoint directory.
+const ckptStateFile = "state.json"
+
+// defaultCheckpointEvery is the fold interval between snapshots when
+// Config.CheckpointEvery is unset.
+const defaultCheckpointEvery = 64
+
+// ckptState is the serialized manifest of a streaming-build checkpoint.
+type ckptState struct {
+	// Version guards the format; readers reject versions they don't know.
+	Version int `json:"version"`
+	// Shards holds each worker accumulator's JSON encoding.
+	Shards []json.RawMessage `json:"shards"`
+	// Docs lists the folded documents: stream index and source name. The
+	// converted XML of entry {Idx: i} lives in doc-%08d.xml.
+	Docs []ckptDoc `json:"docs"`
+	// Quarantined lists the documents dropped so far, with their stream
+	// indices so a resumed build skips them.
+	Quarantined []ckptQuarantine `json:"quarantined,omitempty"`
+}
+
+// ckptDoc is one folded document's manifest entry.
+type ckptDoc struct {
+	Idx    int    `json:"idx"`
+	Source string `json:"source"`
+}
+
+// ckptQuarantine is one quarantined document's manifest entry.
+type ckptQuarantine struct {
+	Idx    int           `json:"idx"`
+	Record FailureRecord `json:"record"`
+}
+
+// ckptVersion is the current checkpoint format version.
+const ckptVersion = 1
+
+// checkpointer accumulates the streaming build's durable state and
+// snapshots it periodically. When checkpointing is enabled the schema
+// accumulators are owned here and folds serialize on one mutex — the
+// conversion work itself still runs in parallel; only the (cheap)
+// statistics fold and the (occasional) snapshot are serialized.
+type checkpointer struct {
+	dir   string
+	every int
+	tr    obs.Tracer
+
+	mu        sync.Mutex
+	shards    []*schema.Accumulator
+	docs      map[int]string // stream index → source name
+	quar      map[int]FailureRecord
+	sinceSnap int
+	err       error // first write failure, surfaced at build end
+}
+
+// newCheckpointer opens (creating if needed) the checkpoint directory and
+// prepares per-worker accumulator shards.
+func newCheckpointer(dir string, every, workers int, tr obs.Tracer) (*checkpointer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	if every <= 0 {
+		every = defaultCheckpointEvery
+	}
+	c := &checkpointer{
+		dir:    dir,
+		every:  every,
+		tr:     obs.OrNop(tr),
+		shards: make([]*schema.Accumulator, workers),
+		docs:   make(map[int]string),
+		quar:   make(map[int]FailureRecord),
+	}
+	for w := range c.shards {
+		c.shards[w] = schema.NewAccumulator(0)
+	}
+	return c, nil
+}
+
+// seed folds a loaded snapshot into the checkpointer, so the next
+// snapshot (and any later resume) still covers the restored prefix: the
+// restored accumulator merges into shard 0 and the manifest entries carry
+// over.
+func (c *checkpointer) seed(rs *resumeState) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rs.acc != nil {
+		if err := c.shards[0].Merge(rs.acc); err != nil {
+			return fmt.Errorf("core: checkpoint resume: %w", err)
+		}
+	}
+	for idx, d := range rs.docs {
+		c.docs[idx] = d.Source
+	}
+	for idx, rec := range rs.quar {
+		c.quar[idx] = rec
+	}
+	return nil
+}
+
+// docFile names the converted-XML file of stream index idx.
+func (c *checkpointer) docFile(idx int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("doc-%08d.xml", idx))
+}
+
+// fold records one converted document durably: its statistics enter shard
+// w's accumulator, its XML is written to disk, and its manifest entry is
+// registered. Every c.every folds a snapshot is written.
+func (c *checkpointer) fold(w, idx int, d *Document, paths *schema.DocPaths) {
+	xml := xmlout.Marshal(d.XML)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards[w].Add(idx, paths)
+	if err := os.WriteFile(c.docFile(idx), []byte(xml), 0o644); err != nil && c.err == nil {
+		c.err = fmt.Errorf("core: checkpoint doc write: %w", err)
+	}
+	c.docs[idx] = d.Source
+	c.tick()
+}
+
+// quarantine records a dropped document's manifest entry so a resumed
+// build skips it instead of retrying (and re-failing) it.
+func (c *checkpointer) quarantine(idx int, rec FailureRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quar[idx] = rec
+	c.tick()
+}
+
+// tick advances the fold counter and snapshots when the interval elapses.
+// Callers hold c.mu.
+func (c *checkpointer) tick() {
+	c.sinceSnap++
+	if c.sinceSnap >= c.every {
+		c.snapshotLocked()
+	}
+}
+
+// snapshot writes a manifest of the current state.
+func (c *checkpointer) snapshot() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snapshotLocked()
+}
+
+// snapshotLocked writes state.json atomically (tmp + rename). Callers hold
+// c.mu; worker folds therefore pause during the write, which bounds the
+// snapshot's consistency: every fold it reports is fully present.
+func (c *checkpointer) snapshotLocked() {
+	sp := c.tr.StartSpan(obs.StageCheckpoint)
+	defer sp.End()
+	c.sinceSnap = 0
+	st := ckptState{Version: ckptVersion}
+	for _, sh := range c.shards {
+		enc, err := json.Marshal(sh)
+		if err != nil {
+			c.fail(fmt.Errorf("core: checkpoint encode: %w", err))
+			return
+		}
+		st.Shards = append(st.Shards, enc)
+	}
+	for idx, src := range c.docs {
+		st.Docs = append(st.Docs, ckptDoc{Idx: idx, Source: src})
+	}
+	sort.Slice(st.Docs, func(i, j int) bool { return st.Docs[i].Idx < st.Docs[j].Idx })
+	for idx, rec := range c.quar {
+		st.Quarantined = append(st.Quarantined, ckptQuarantine{Idx: idx, Record: rec})
+	}
+	sort.Slice(st.Quarantined, func(i, j int) bool { return st.Quarantined[i].Idx < st.Quarantined[j].Idx })
+	data, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		c.fail(fmt.Errorf("core: checkpoint encode: %w", err))
+		return
+	}
+	tmp := filepath.Join(c.dir, ckptStateFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		c.fail(fmt.Errorf("core: checkpoint write: %w", err))
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, ckptStateFile)); err != nil {
+		c.fail(fmt.Errorf("core: checkpoint write: %w", err))
+		return
+	}
+	if c.tr.Enabled() {
+		c.tr.Add(obs.CtrCheckpoints, 1)
+	}
+}
+
+// fail records the first checkpoint write failure. Callers hold c.mu.
+func (c *checkpointer) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// firstErr returns the first write failure, if any.
+func (c *checkpointer) firstErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// clear removes the manifest and document files after a build completes,
+// so a later build over the same directory starts fresh instead of
+// resuming into an already-finished state.
+func (c *checkpointer) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	os.Remove(filepath.Join(c.dir, ckptStateFile))
+	if matches, err := filepath.Glob(filepath.Join(c.dir, "doc-*.xml")); err == nil {
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+}
+
+// resumeState is a loaded checkpoint: everything a resuming BuildStream
+// needs to skip the already-processed prefix of its source stream.
+type resumeState struct {
+	// acc is the merge of the snapshot's shard accumulators.
+	acc *schema.Accumulator
+	// docs maps stream index → restored converted document. Restored
+	// documents carry their XML and source name but zero conversion Stats
+	// (the stats were not checkpointed; only the statistics the schema
+	// needs were).
+	docs map[int]*Document
+	// quar maps stream index → the failure that quarantined it.
+	quar map[int]FailureRecord
+}
+
+// loadCheckpoint reads the latest snapshot under dir. It returns (nil,
+// nil) when no snapshot exists — a fresh start, not an error.
+func loadCheckpoint(dir string) (*resumeState, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ckptStateFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint read: %w", err)
+	}
+	var st ckptState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("core: checkpoint decode: %w", err)
+	}
+	if st.Version != ckptVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d not supported", st.Version)
+	}
+	rs := &resumeState{
+		docs: make(map[int]*Document, len(st.Docs)),
+		quar: make(map[int]FailureRecord, len(st.Quarantined)),
+	}
+	for _, enc := range st.Shards {
+		sh := &schema.Accumulator{}
+		if err := json.Unmarshal(enc, sh); err != nil {
+			return nil, fmt.Errorf("core: checkpoint decode: %w", err)
+		}
+		if rs.acc == nil {
+			rs.acc = sh
+			continue
+		}
+		if err := rs.acc.Merge(sh); err != nil {
+			return nil, fmt.Errorf("core: checkpoint decode: %w", err)
+		}
+	}
+	for _, cd := range st.Docs {
+		xml, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("doc-%08d.xml", cd.Idx)))
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint doc %d: %w", cd.Idx, err)
+		}
+		root, err := xmlout.UnmarshalElement(string(xml))
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint doc %d: %w", cd.Idx, err)
+		}
+		rs.docs[cd.Idx] = &Document{Source: cd.Source, XML: root}
+	}
+	for _, q := range st.Quarantined {
+		rs.quar[q.Idx] = q.Record
+	}
+	return rs, nil
+}

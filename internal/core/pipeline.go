@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"webrev/internal/convert"
 	"webrev/internal/dom"
 	"webrev/internal/dtd"
+	"webrev/internal/faultinject"
 	"webrev/internal/mapping"
 	"webrev/internal/obs"
 	"webrev/internal/repository"
@@ -61,6 +63,40 @@ type Config struct {
 	// costs nothing. Pass an *obs.Collector to retrieve metrics via
 	// Pipeline.Metrics or Repository.Stages.
 	Tracer obs.Tracer
+	// Limits bounds the resources one document may consume (DOM size,
+	// token budget, per-document deadline, mapping edit-cost ceiling).
+	// Over-limit documents are degraded or quarantined instead of
+	// stalling the build. The zero value is unlimited.
+	Limits Limits
+	// MaxFailureRatio is the build's error budget: the fraction of input
+	// documents that may be quarantined (conversion or mapping crash,
+	// timeout, injected error) before Build/BuildStream fail. Failures
+	// within the budget leave the build successful with partial results
+	// and the records on Repository.Quarantined. 0 means the default 0.5;
+	// negative means zero tolerance — any quarantined document fails the
+	// build.
+	MaxFailureRatio float64
+	// QuarantineDir, when set, persists every quarantined document —
+	// failure record plus original HTML — to this directory, so the
+	// `webrev quarantine` subcommand can list and replay them after a
+	// fix.
+	QuarantineDir string
+	// CheckpointDir, when set, makes BuildStream crash-resumable: the
+	// per-worker schema accumulator state, converted documents, and
+	// quarantine log are periodically snapshotted there, and a later
+	// BuildStream over the same source stream resumes from the latest
+	// snapshot instead of redoing the work. Restored Documents carry
+	// their converted XML but zero conversion Stats.
+	CheckpointDir string
+	// CheckpointEvery is the number of documents folded between
+	// checkpoint snapshots (default 64). Only meaningful with
+	// CheckpointDir.
+	CheckpointEvery int
+	// Inject, when non-nil, fires deterministic faults (panics, delays,
+	// errors) into the per-document convert and map stages — the chaos
+	// hook the fault-tolerance tests and experiment E10 use. Nil injects
+	// nothing.
+	Inject *faultinject.Stage
 }
 
 // Pipeline is the assembled system. Create one with New.
@@ -95,6 +131,13 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.Constraints != nil {
 		opts.Constraints = cfg.Constraints
+	}
+	if cfg.Limits.MaxDOMNodes > 0 || cfg.Limits.MaxDepth > 0 || cfg.Limits.MaxTokens > 0 {
+		opts.Limits = convert.Limits{
+			MaxDOMNodes: cfg.Limits.MaxDOMNodes,
+			MaxDepth:    cfg.Limits.MaxDepth,
+			MaxTokens:   cfg.Limits.MaxTokens,
+		}
 	}
 	tr := obs.OrNop(cfg.Tracer)
 	if opts.Tracer == nil {
@@ -144,6 +187,21 @@ func (p *Pipeline) Convert(source, html string) *Document {
 	return &Document{Source: source, XML: x, Stats: stats}
 }
 
+// TryConvert converts one HTML source inside the per-document fault
+// boundary: a panic, injected error, or Limits.DocTimeout overrun returns
+// a FailureRecord instead of crashing the caller. It is the entry point
+// replay tools (the `webrev quarantine` subcommand) use to re-run a
+// quarantined document after a fix. On success the record is nil; a
+// document truncated by Limits comes back with both a Document and a
+// FailLimit record.
+func (p *Pipeline) TryConvert(source, html string) (*Document, *FailureRecord) {
+	d, degraded, failed := p.convertGuarded(source, html)
+	if failed != nil {
+		return nil, failed
+	}
+	return d, degraded
+}
+
 // ConvertAll converts every source concurrently (bounded by
 // Config.Parallelism), preserving input order in the result.
 func (p *Pipeline) ConvertAll(sources []Source) []*Document {
@@ -160,6 +218,14 @@ func (p *Pipeline) ConvertAll(sources []Source) []*Document {
 // With one worker the loop runs serially on the calling goroutine, which
 // keeps the serial path trivially deterministic for the race tests.
 func (p *Pipeline) forEach(n int, fn func(i int)) {
+	p.forEachCtx(context.Background(), n, fn)
+}
+
+// forEachCtx is forEach under a context: once ctx is cancelled no further
+// items are dispatched (items already running finish). The caller checks
+// ctx.Err() afterwards to distinguish a complete pass from an abandoned
+// one.
+func (p *Pipeline) forEachCtx(ctx context.Context, n int, fn func(i int)) {
 	workers := p.cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -169,6 +235,9 @@ func (p *Pipeline) forEach(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -185,10 +254,106 @@ func (p *Pipeline) forEach(n int, fn func(i int)) {
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+}
+
+// failureBudget resolves the configured error budget: the maximum
+// tolerated quarantined fraction.
+func (p *Pipeline) failureBudget() float64 {
+	switch {
+	case p.cfg.MaxFailureRatio < 0:
+		return 0
+	case p.cfg.MaxFailureRatio == 0:
+		return 0.5
+	default:
+		return p.cfg.MaxFailureRatio
+	}
+}
+
+// openFailureSink assembles the build's failure collector, attaching the
+// persistent quarantine store when Config.QuarantineDir is set.
+func (p *Pipeline) openFailureSink() (*failureSink, error) {
+	sink := &failureSink{}
+	if p.cfg.QuarantineDir != "" {
+		store, err := OpenQuarantineStore(p.cfg.QuarantineDir)
+		if err != nil {
+			return nil, err
+		}
+		sink.store = store
+	}
+	return sink, nil
+}
+
+// convertGuarded converts one source inside the per-document fault
+// boundary: panics, injected errors, and deadline overruns come back as a
+// FailureRecord instead of crashing the build. On success the returned
+// record is nil; a FailLimit record accompanies a document that was kept
+// but truncated by Limits.
+func (p *Pipeline) convertGuarded(name, html string) (d *Document, degraded, failed *FailureRecord) {
+	failed = runGuarded(obs.StageConvert, name, p.cfg.Limits.DocTimeout, func() error {
+		if err := p.cfg.Inject.Fire(obs.StageConvert, name); err != nil {
+			return err
+		}
+		d = p.Convert(name, html)
+		return nil
+	})
+	if failed != nil {
+		if p.tr.Enabled() {
+			p.tr.Add(obs.CtrDocsQuarantined, 1)
+		}
+		return nil, nil, failed
+	}
+	if d.Stats.Truncated {
+		degraded = &FailureRecord{
+			Stage: obs.StageConvert,
+			URL:   name,
+			Kind:  FailLimit,
+			Err:   "conversion truncated by resource limits",
+		}
+		if p.tr.Enabled() {
+			p.tr.Add(obs.CtrDocsDegraded, 1)
+		}
+	}
+	return d, degraded, nil
+}
+
+// conformGuarded maps one converted document to the DTD inside the fault
+// boundary. A document whose mapping would exceed Limits.MaxMapCost is
+// kept identity-mapped (the unmodified converted tree) with a FailLimit
+// record; panics, injected errors, and deadline overruns quarantine it.
+func (p *Pipeline) conformGuarded(d *Document, dt *dtd.DTD) (out *dom.Node, st mapping.EditStats, degraded, failed *FailureRecord) {
+	failed = runGuarded(obs.StageMap, d.Source, p.cfg.Limits.DocTimeout, func() error {
+		if err := p.cfg.Inject.Fire(obs.StageMap, d.Source); err != nil {
+			return err
+		}
+		out, st = mapping.ConformTraced(d.XML, dt, p.tr)
+		return nil
+	})
+	if failed != nil {
+		if p.tr.Enabled() {
+			p.tr.Add(obs.CtrDocsQuarantined, 1)
+		}
+		return nil, mapping.EditStats{}, nil, failed
+	}
+	if max := p.cfg.Limits.MaxMapCost; max > 0 && st.Cost() > max {
+		degraded = &FailureRecord{
+			Stage: obs.StageMap,
+			URL:   d.Source,
+			Kind:  FailLimit,
+			Err:   fmt.Sprintf("mapping cost %d exceeds ceiling %d; kept identity-mapped", st.Cost(), max),
+		}
+		if p.tr.Enabled() {
+			p.tr.Add(obs.CtrDocsDegraded, 1)
+		}
+		return d.XML, mapping.EditStats{}, degraded, nil
+	}
+	return out, st, nil, nil
 }
 
 // Repository is the result of the full pipeline over a corpus.
@@ -206,6 +371,27 @@ type Repository struct {
 	// and is nil under the no-op default. Keys are the obs.Stage*
 	// constants; counters live on the collector's Snapshot.
 	Stages map[string]obs.StageStats
+	// Quarantined records the documents dropped from the build by the
+	// per-document fault boundary (panic, timeout, or error in conversion
+	// or mapping). A build that returns a non-nil Repository with entries
+	// here succeeded within its error budget (Config.MaxFailureRatio).
+	Quarantined []FailureRecord
+	// Degraded records the documents kept in the build but limited by
+	// Config.Limits: conversions truncated by node/depth/token caps, and
+	// mappings left identity-mapped over the edit-cost ceiling.
+	Degraded []FailureRecord
+	// TotalInput is the number of source documents the build was given,
+	// including quarantined ones — the denominator of FailureRatio.
+	TotalInput int
+}
+
+// FailureRatio returns the fraction of input documents the build
+// quarantined; 0 for an empty build.
+func (r *Repository) FailureRatio() float64 {
+	if r.TotalInput == 0 {
+		return 0
+	}
+	return float64(len(r.Quarantined)) / float64(r.TotalInput)
 }
 
 // MappedDocs returns the number of documents that went through conformance
@@ -306,22 +492,115 @@ func (p *Pipeline) DeriveDTD(s *schema.Schema) *dtd.DTD {
 // majority schema, derive the DTD, and map every document to conform.
 // sources maps identifiers to HTML.
 //
+// Build is the context-free convenience wrapper over BuildContext,
+// retained for existing callers; new code that wants cancellation or
+// deadlines should call BuildContext directly.
+func (p *Pipeline) Build(sources []Source) (*Repository, error) {
+	return p.BuildContext(context.Background(), sources)
+}
+
+// BuildContext runs the complete pipeline under ctx: convert every
+// source, discover the majority schema over the surviving documents,
+// derive the DTD, and map every survivor to conform.
+//
 // Conversion and DTD-guided mapping both run on a bounded worker pool
 // (Config.Parallelism); each document's mapping is independent, and
 // results stay aligned with Docs regardless of worker interleaving, so
 // parallel and serial builds produce identical repositories.
-func (p *Pipeline) Build(sources []Source) (*Repository, error) {
+//
+// Each per-document unit of work runs inside a fault boundary: a panic,
+// per-document deadline overrun (Limits.DocTimeout), or injected error
+// quarantines that document — it is dropped from Docs/Conformed/MapStats
+// and recorded on Repository.Quarantined — instead of aborting the build.
+// The build fails only when ctx is cancelled, every document is
+// quarantined, or the quarantined fraction exceeds the error budget
+// (Config.MaxFailureRatio); on a budget failure the partial Repository is
+// returned alongside the error for inspection.
+func (p *Pipeline) BuildContext(ctx context.Context, sources []Source) (*Repository, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("core: empty corpus")
 	}
-	repo := &Repository{Docs: p.ConvertAll(sources)}
+	sink, err := p.openFailureSink()
+	if err != nil {
+		return nil, err
+	}
+
+	// Convert every source inside the fault boundary, then compact away
+	// the quarantined slots while preserving input order.
+	docs := make([]*Document, len(sources))
+	p.forEachCtx(ctx, len(sources), func(i int) {
+		d, degraded, failed := p.convertGuarded(sources[i].Name, sources[i].HTML)
+		if failed != nil {
+			sink.quarantine(*failed, sources[i].HTML)
+			return
+		}
+		if degraded != nil {
+			sink.degrade(*degraded)
+		}
+		docs[i] = d
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: build cancelled: %w", err)
+	}
+	survivors := docs[:0]
+	for _, d := range docs {
+		if d != nil {
+			survivors = append(survivors, d)
+		}
+	}
+	repo := &Repository{Docs: survivors, TotalInput: len(sources)}
+	repo.Quarantined = sink.snapshotQuarantined()
+	if err := p.checkBudget(repo, sink); err != nil {
+		return repo, err
+	}
+	if len(repo.Docs) == 0 {
+		repo.Degraded = sink.snapshotDegraded()
+		return repo, fmt.Errorf("core: all %d documents quarantined", len(sources))
+	}
+
 	repo.Schema = p.DiscoverSchema(repo.Docs)
 	repo.DTD = p.DeriveDTD(repo.Schema)
-	repo.Conformed = make([]*dom.Node, len(repo.Docs))
-	repo.MapStats = make([]mapping.EditStats, len(repo.Docs))
-	p.forEach(len(repo.Docs), func(i int) {
-		repo.Conformed[i], repo.MapStats[i] = mapping.ConformTraced(repo.Docs[i].XML, repo.DTD, p.tr)
+
+	// Map every survivor inside the fault boundary. A map-stage failure
+	// quarantines the document: Docs, Conformed, and MapStats are
+	// compacted in lockstep so the three stay aligned.
+	conformed := make([]*dom.Node, len(repo.Docs))
+	stats := make([]mapping.EditStats, len(repo.Docs))
+	dropped := make([]bool, len(repo.Docs))
+	p.forEachCtx(ctx, len(repo.Docs), func(i int) {
+		out, st, degraded, failed := p.conformGuarded(repo.Docs[i], repo.DTD)
+		if failed != nil {
+			sink.quarantine(*failed, "")
+			dropped[i] = true
+			return
+		}
+		if degraded != nil {
+			sink.degrade(*degraded)
+		}
+		conformed[i], stats[i] = out, st
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: build cancelled: %w", err)
+	}
+	kept := 0
+	for i := range repo.Docs {
+		if dropped[i] {
+			continue
+		}
+		repo.Docs[kept] = repo.Docs[i]
+		conformed[kept] = conformed[i]
+		stats[kept] = stats[i]
+		kept++
+	}
+	repo.Docs = repo.Docs[:kept]
+	repo.Conformed = conformed[:kept]
+	repo.MapStats = stats[:kept]
+	repo.Quarantined = sink.snapshotQuarantined()
+	repo.Degraded = sink.snapshotDegraded()
+	if err := p.checkBudget(repo, sink); err != nil {
+		return repo, err
+	}
+
 	if p.tr.Enabled() {
 		// Output volume of the conformed repository; measured only when a
 		// collector is attached, so the no-op path never marshals.
@@ -335,6 +614,19 @@ func (p *Pipeline) Build(sources []Source) (*Repository, error) {
 	return repo, nil
 }
 
+// checkBudget enforces the error budget and surfaces a quarantine-store
+// write failure (the failure path must itself not fail silently).
+func (p *Pipeline) checkBudget(repo *Repository, sink *failureSink) error {
+	if err := sink.err(); err != nil {
+		return err
+	}
+	if budget := p.failureBudget(); repo.FailureRatio() > budget {
+		return fmt.Errorf("core: %d of %d documents quarantined (ratio %.2f exceeds budget %.2f)",
+			len(repo.Quarantined), repo.TotalInput, repo.FailureRatio(), budget)
+	}
+	return nil
+}
+
 // Source is one named HTML input.
 type Source struct {
 	Name string
@@ -343,16 +635,27 @@ type Source struct {
 
 // BuildRepository runs the complete pipeline and stores every conformed
 // document in a queryable, persistable repository governed by the derived
-// DTD.
+// DTD. It is the context-free wrapper over BuildRepositoryContext.
 func (p *Pipeline) BuildRepository(sources []Source) (*repository.Repository, error) {
-	built, err := p.Build(sources)
+	return p.BuildRepositoryContext(context.Background(), sources)
+}
+
+// BuildRepositoryContext runs the complete pipeline under ctx and stores
+// every conformed document in a queryable, persistable repository governed
+// by the derived DTD. Documents the fault boundary quarantined are absent;
+// a degraded document whose identity-mapped tree still fails DTD
+// validation is skipped rather than failing the whole build.
+func (p *Pipeline) BuildRepositoryContext(ctx context.Context, sources []Source) (*repository.Repository, error) {
+	built, err := p.BuildContext(ctx, sources)
 	if err != nil {
 		return nil, err
 	}
 	repo := repository.New(built.DTD)
 	for i, c := range built.Conformed {
 		if err := repo.Add(built.Docs[i].Source, c); err != nil {
-			return nil, fmt.Errorf("core: mapped document still invalid: %w", err)
+			// Only degraded (identity-mapped) documents can still violate
+			// the DTD here; keep the build and drop the invalid document.
+			continue
 		}
 	}
 	return repo, nil

@@ -43,14 +43,27 @@ type StreamSink func(doc *Document, conformed *dom.Node, stats mapping.EditStats
 // byte-identical to Build's: per-document work is deterministic and the
 // accumulator merge is exactly order-independent.
 //
+// Per-document work runs inside the same fault boundary as BuildContext:
+// a panic, per-document deadline overrun, or injected error quarantines
+// the document (recorded on Repository.Quarantined) instead of aborting
+// the stream, subject to the Config.MaxFailureRatio error budget.
+//
+// With Config.CheckpointDir set the build is crash-resumable: the worker
+// accumulators, converted documents, and quarantine log snapshot to the
+// directory every Config.CheckpointEvery folds, and a later BuildStream
+// over the same source stream skips the already-processed prefix and
+// produces output byte-identical to an uninterrupted run.
+//
 // On context cancellation the build abandons its result and returns the
-// context error after its workers drain.
+// context error after its workers drain (writing a final checkpoint
+// snapshot first, when checkpointing is on).
 func (p *Pipeline) BuildStream(ctx context.Context, in <-chan Source) (*Repository, error) {
 	return p.BuildStreamTo(ctx, in, nil)
 }
 
 // BuildStreamTo is BuildStream with a sink receiving each conformed
 // document as its mapping finishes; see StreamSink. A nil sink is allowed.
+// Quarantined documents are never delivered to the sink.
 func (p *Pipeline) BuildStreamTo(ctx context.Context, in <-chan Source, sink StreamSink) (*Repository, error) {
 	workers := p.cfg.Parallelism
 	if workers <= 0 {
@@ -66,13 +79,54 @@ func (p *Pipeline) BuildStreamTo(ctx context.Context, in <-chan Source, sink Str
 		workers = capDocs
 	}
 
+	fsink, err := p.openFailureSink()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		ckpt   *checkpointer
+		resume *resumeState
+	)
+	if p.cfg.CheckpointDir != "" {
+		if resume, err = loadCheckpoint(p.cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+		if ckpt, err = newCheckpointer(p.cfg.CheckpointDir, p.cfg.CheckpointEvery, workers, p.tr); err != nil {
+			return nil, err
+		}
+		if resume != nil {
+			// Seed the new run with the snapshot so the next snapshot (and
+			// a second resume) still covers the restored prefix, and carry
+			// the restored quarantine log into this run's report.
+			if err := ckpt.seed(resume); err != nil {
+				return nil, err
+			}
+			recs := make([]FailureRecord, 0, len(resume.quar))
+			for _, rec := range resume.quar {
+				recs = append(recs, rec)
+			}
+			fsink.restoreQuarantined(recs)
+		}
+	}
+
 	var (
 		mu       sync.Mutex
 		docs     []*Document
 		inFlight int64
 		peak     int64
 	)
+	placeDoc := func(idx int, d *Document) {
+		mu.Lock()
+		for len(docs) <= idx {
+			docs = append(docs, nil)
+		}
+		docs[idx] = d
+		mu.Unlock()
+	}
 	shards := make([]*schema.Accumulator, workers)
+	for w := range shards {
+		shards[w] = schema.NewAccumulator(0)
+	}
 	// jobs is buffered to the cap so a burst of arrivals (a crawler
 	// finishing a fetch window) is accepted immediately and converted
 	// during the producer's next idle period; the semaphore, not this
@@ -81,20 +135,29 @@ func (p *Pipeline) BuildStreamTo(ctx context.Context, in <-chan Source, sink Str
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, capDocs)
 	for w := 0; w < workers; w++ {
-		shards[w] = schema.NewAccumulator(0)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for j := range jobs {
-				d := p.Convert(j.src.Name, j.src.HTML)
-				j.src.HTML = "" // conversion done; drop the raw source
-				shards[w].Add(j.idx, p.ExtractPaths(d))
-				mu.Lock()
-				for len(docs) <= j.idx {
-					docs = append(docs, nil)
+				d, degraded, failed := p.convertGuarded(j.src.Name, j.src.HTML)
+				if failed != nil {
+					fsink.quarantine(*failed, j.src.HTML)
+					if ckpt != nil {
+						ckpt.quarantine(j.idx, *failed)
+					}
+				} else {
+					if degraded != nil {
+						fsink.degrade(*degraded)
+					}
+					j.src.HTML = "" // conversion done; drop the raw source
+					paths := p.ExtractPaths(d)
+					if ckpt != nil {
+						ckpt.fold(w, j.idx, d, paths)
+					} else {
+						shards[w].Add(j.idx, paths)
+					}
+					placeDoc(j.idx, d)
 				}
-				docs[j.idx] = d
-				mu.Unlock()
 				cur := atomic.AddInt64(&inFlight, -1)
 				if p.tr.Enabled() {
 					p.tr.Set(obs.GaugeStreamInFlight, cur)
@@ -114,7 +177,10 @@ func (p *Pipeline) BuildStreamTo(ctx context.Context, in <-chan Source, sink Str
 
 	// Feed: reserve an in-flight slot before accepting a document, so at
 	// most capDocs documents are ever held between acceptance and fold.
+	// On resume, documents whose stream index the checkpoint already
+	// covers (folded or quarantined) are skipped instead of dispatched.
 	n := 0
+	restored := 0
 	var feedErr error
 feed:
 	for {
@@ -134,6 +200,20 @@ feed:
 				<-sem
 				break feed
 			}
+			if resume != nil {
+				if d := resume.docs[n]; d != nil {
+					placeDoc(n, d)
+					restored++
+					n++
+					<-sem
+					continue
+				}
+				if _, quarantined := resume.quar[n]; quarantined {
+					n++
+					<-sem
+					continue
+				}
+			}
 			cur := atomic.AddInt64(&inFlight, 1)
 			for {
 				old := atomic.LoadInt64(&peak)
@@ -151,10 +231,19 @@ feed:
 	close(jobs)
 	wg.Wait()
 
+	if ckpt != nil {
+		// Final snapshot: everything accepted before a cancellation (or
+		// the stream's end) is folded by now, so the snapshot covers the
+		// complete prefix and a resumed build restarts exactly after it.
+		ckpt.snapshot()
+	}
 	if p.tr.Enabled() {
 		p.tr.Set(obs.GaugeStreamInFlight, 0)
 		p.tr.Set(obs.GaugeStreamInFlightPeak, atomic.LoadInt64(&peak))
 		p.tr.Set(obs.GaugeStreamShards, int64(workers))
+		if restored > 0 {
+			p.tr.Add(obs.CtrDocsRestored, int64(restored))
+		}
 	}
 	if feedErr != nil {
 		return nil, feedErr
@@ -163,55 +252,113 @@ feed:
 		return nil, fmt.Errorf("core: empty corpus")
 	}
 
-	// All statistics are in; combine the shards and mine once.
+	repo := &Repository{TotalInput: n}
+	repo.Quarantined = fsink.snapshotQuarantined()
+	if err := p.checkBudget(repo, fsink); err != nil {
+		repo.Degraded = fsink.snapshotDegraded()
+		return repo, err
+	}
+	if ckpt != nil {
+		if err := ckpt.firstErr(); err != nil {
+			return repo, err
+		}
+	}
+
+	// Compact away quarantined slots, preserving stream order.
+	for _, d := range docs {
+		if d != nil {
+			repo.Docs = append(repo.Docs, d)
+		}
+	}
+	if len(repo.Docs) == 0 {
+		repo.Degraded = fsink.snapshotDegraded()
+		return repo, fmt.Errorf("core: all %d documents quarantined", n)
+	}
+
+	// All statistics are in; combine the shards and mine once. With
+	// checkpointing on, the checkpointer owns the shards (including any
+	// restored snapshot state merged into shard 0).
+	allShards := shards
+	if ckpt != nil {
+		allShards = ckpt.shards
+	}
 	sp := p.tr.StartSpan(obs.StageMerge)
-	merged := shards[0]
-	for _, s := range shards[1:] {
+	merged := allShards[0]
+	for _, s := range allShards[1:] {
 		if err := merged.Merge(s); err != nil {
 			sp.End()
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	sp.End()
-
-	repo := &Repository{
-		Docs:      docs,
-		Conformed: make([]*dom.Node, n),
-		MapStats:  make([]mapping.EditStats, n),
-	}
 	repo.Schema = p.mineStats(merged)
 	repo.DTD = p.DeriveDTD(repo.Schema)
 
+	// Map every survivor inside the fault boundary; a map-stage failure
+	// quarantines the document and it is compacted out afterwards.
+	ns := len(repo.Docs)
+	conformed := make([]*dom.Node, ns)
+	stats := make([]mapping.EditStats, ns)
+	dropped := make([]bool, ns)
 	mapDoc := func(i int) {
-		repo.Conformed[i], repo.MapStats[i] = mapping.ConformTraced(repo.Docs[i].XML, repo.DTD, p.tr)
+		out, st, degraded, failed := p.conformGuarded(repo.Docs[i], repo.DTD)
+		if failed != nil {
+			fsink.quarantine(*failed, "")
+			dropped[i] = true
+			return
+		}
+		if degraded != nil {
+			fsink.degrade(*degraded)
+		}
+		conformed[i], stats[i] = out, st
 	}
 	var sinkErr error
 	if sink == nil {
-		p.forEach(n, mapDoc)
+		p.forEach(ns, mapDoc)
 	} else {
 		// Stream conformance out: an in-order emitter delivers document i
 		// the moment documents 0..i have all finished mapping, while later
-		// documents are still being mapped.
-		done := make(chan int, n)
+		// documents are still being mapped. Quarantined documents are
+		// skipped, never delivered.
+		done := make(chan int, ns)
 		go func() {
-			p.forEach(n, func(i int) {
+			p.forEach(ns, func(i int) {
 				mapDoc(i)
 				done <- i
 			})
 			close(done)
 		}()
-		ready := make([]bool, n)
+		ready := make([]bool, ns)
 		emitted := 0
 		for i := range done {
 			ready[i] = true
-			for emitted < n && ready[emitted] {
-				if sinkErr == nil {
-					sinkErr = sink(repo.Docs[emitted], repo.Conformed[emitted], repo.MapStats[emitted])
+			for emitted < ns && ready[emitted] {
+				if sinkErr == nil && !dropped[emitted] {
+					sinkErr = sink(repo.Docs[emitted], conformed[emitted], stats[emitted])
 				}
 				emitted++
 			}
 		}
 	}
+	kept := 0
+	for i := 0; i < ns; i++ {
+		if dropped[i] {
+			continue
+		}
+		repo.Docs[kept] = repo.Docs[i]
+		conformed[kept] = conformed[i]
+		stats[kept] = stats[i]
+		kept++
+	}
+	repo.Docs = repo.Docs[:kept]
+	repo.Conformed = conformed[:kept]
+	repo.MapStats = stats[:kept]
+	repo.Quarantined = fsink.snapshotQuarantined()
+	repo.Degraded = fsink.snapshotDegraded()
+	if err := p.checkBudget(repo, fsink); err != nil {
+		return repo, err
+	}
+
 	if p.tr.Enabled() {
 		var out int64
 		for _, c := range repo.Conformed {
@@ -222,6 +369,12 @@ feed:
 	repo.Stages = obs.StagesOf(p.tr)
 	if sinkErr != nil {
 		return repo, fmt.Errorf("core: stream sink: %w", sinkErr)
+	}
+	if ckpt != nil {
+		// The build completed; clear the checkpoint so a later run over
+		// the same directory starts fresh instead of resuming into an
+		// already-finished state.
+		ckpt.clear()
 	}
 	return repo, nil
 }

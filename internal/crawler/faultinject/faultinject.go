@@ -1,266 +1,38 @@
-// Package faultinject is a deterministic fault-injection middleware for
-// http.Handler, built to test the crawler's robustness machinery. It wraps
-// a healthy handler (e.g. crawler.Site.Handler()) and, for a seeded subset
-// of request paths, injects the failure modes a live-Web crawl meets:
-// server errors, rate limiting, connection resets, slow responses,
-// truncated bodies, and hangs.
+// Package faultinject is the original home of the HTTP fault-injection
+// middleware, kept as a thin forwarding shim so existing imports keep
+// compiling.
 //
-// Determinism: whether a path is faulty — and which fault it gets — is a
-// pure function of (Seed, path), so a run is reproducible regardless of
-// request order or concurrency. Faults are transient by default: each
-// faulty path fails its first FaultsPerPath requests and then serves
-// normally, so a crawler with retries can recover the complete corpus.
+// Deprecated: the injector now lives in webrev/internal/faultinject
+// alongside the pipeline stage injector; import that package instead.
 package faultinject
 
-import (
-	"bytes"
-	"encoding/binary"
-	"hash/fnv"
-	"io"
-	"math/rand"
-	"net"
-	"net/http"
-	"strconv"
-	"sync"
-	"time"
+import "webrev/internal/faultinject"
+
+// Forwarded types; see webrev/internal/faultinject.
+type (
+	// Kind is one injectable failure mode.
+	Kind = faultinject.Kind
+	// Config parameterizes an Injector.
+	Config = faultinject.Config
+	// Injector is an http.Handler middleware injecting deterministic
+	// faults.
+	Injector = faultinject.Injector
 )
 
-// Kind is one injectable failure mode.
-type Kind int
-
+// Forwarded fault kinds; see webrev/internal/faultinject.
 const (
-	// None leaves the request untouched.
-	None Kind = iota
-	// Status500 answers 500 Internal Server Error.
-	Status500
-	// Status429 answers 429 Too Many Requests.
-	Status429
-	// Reset closes the connection without a response (client sees a reset
-	// or unexpected EOF).
-	Reset
-	// Slow delays SlowDelay before serving the real response.
-	Slow
-	// Truncate declares the full Content-Length but sends only half the
-	// body, so the client's read fails mid-stream.
-	Truncate
-	// Hang never responds; the handler blocks until the client gives up
-	// (or HangMax elapses), exercising per-attempt timeouts.
-	Hang
+	None      = faultinject.None
+	Status500 = faultinject.Status500
+	Status429 = faultinject.Status429
+	Reset     = faultinject.Reset
+	Slow      = faultinject.Slow
+	Truncate  = faultinject.Truncate
+	Hang      = faultinject.Hang
 )
-
-// String names the fault kind for reports and test output.
-func (k Kind) String() string {
-	switch k {
-	case None:
-		return "none"
-	case Status500:
-		return "status-500"
-	case Status429:
-		return "status-429"
-	case Reset:
-		return "reset"
-	case Slow:
-		return "slow"
-	case Truncate:
-		return "truncate"
-	case Hang:
-		return "hang"
-	}
-	return "unknown"
-}
-
-// TransientKinds are the faults a retrying client recovers from when the
-// fault clears; it is the default Kinds set.
-func TransientKinds() []Kind {
-	return []Kind{Status500, Status429, Reset, Slow, Truncate, Hang}
-}
-
-// Config parameterizes an Injector. The zero value injects nothing.
-type Config struct {
-	// Seed makes fault placement deterministic.
-	Seed int64
-	// Rate is the fraction of paths that are faulty, in [0,1].
-	Rate float64
-	// Kinds are the fault kinds drawn for faulty paths (default
-	// TransientKinds).
-	Kinds []Kind
-	// FaultsPerPath is how many requests to a faulty path fail before it
-	// recovers and serves normally (default 1). Negative means the path
-	// never recovers — a permanent fault.
-	FaultsPerPath int
-	// SlowDelay is the latency added by Slow faults (default 50ms).
-	SlowDelay time.Duration
-	// HangMax caps how long a Hang fault blocks when the client never
-	// disconnects (default 30s).
-	HangMax time.Duration
-}
-
-// Injector is an http.Handler middleware injecting deterministic faults.
-type Injector struct {
-	next http.Handler
-	cfg  Config
-
-	mu       sync.Mutex
-	faulted  map[string]int // requests already faulted, per path
-	injected map[Kind]int
-}
 
 // New wraps next with fault injection under cfg.
-func New(next http.Handler, cfg Config) *Injector {
-	if len(cfg.Kinds) == 0 {
-		cfg.Kinds = TransientKinds()
-	}
-	if cfg.FaultsPerPath == 0 {
-		cfg.FaultsPerPath = 1
-	}
-	if cfg.SlowDelay <= 0 {
-		cfg.SlowDelay = 50 * time.Millisecond
-	}
-	if cfg.HangMax <= 0 {
-		cfg.HangMax = 30 * time.Second
-	}
-	return &Injector{
-		next:     next,
-		cfg:      cfg,
-		faulted:  make(map[string]int),
-		injected: make(map[Kind]int),
-	}
-}
+var New = faultinject.New
 
-// Decide returns the fault assigned to path — a pure function of the
-// configured seed and the path, independent of request history.
-func (in *Injector) Decide(path string) Kind {
-	h := fnv.New64a()
-	var seed [8]byte
-	binary.LittleEndian.PutUint64(seed[:], uint64(in.cfg.Seed))
-	h.Write(seed[:])
-	io.WriteString(h, path)
-	rng := rand.New(rand.NewSource(int64(h.Sum64())))
-	if rng.Float64() >= in.cfg.Rate {
-		return None
-	}
-	return in.cfg.Kinds[rng.Intn(len(in.cfg.Kinds))]
-}
-
-// Injected returns a copy of the per-kind tally of faults injected so far.
-func (in *Injector) Injected() map[Kind]int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	out := make(map[Kind]int, len(in.injected))
-	for k, n := range in.injected {
-		out[k] = n
-	}
-	return out
-}
-
-// Total returns the number of faults injected so far.
-func (in *Injector) Total() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	n := 0
-	for _, c := range in.injected {
-		n += c
-	}
-	return n
-}
-
-// ServeHTTP injects the path's fault while its budget lasts, then passes
-// through to the wrapped handler.
-func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	kind := in.Decide(r.URL.Path)
-	if kind == None {
-		in.next.ServeHTTP(w, r)
-		return
-	}
-	in.mu.Lock()
-	if in.cfg.FaultsPerPath >= 0 && in.faulted[r.URL.Path] >= in.cfg.FaultsPerPath {
-		in.mu.Unlock()
-		in.next.ServeHTTP(w, r) // fault cleared: transient failure recovers
-		return
-	}
-	in.faulted[r.URL.Path]++
-	in.injected[kind]++
-	in.mu.Unlock()
-
-	switch kind {
-	case Status500:
-		http.Error(w, "injected server error", http.StatusInternalServerError)
-	case Status429:
-		http.Error(w, "injected rate limit", http.StatusTooManyRequests)
-	case Reset:
-		in.reset(w)
-	case Slow:
-		t := time.NewTimer(in.cfg.SlowDelay)
-		defer t.Stop()
-		select {
-		case <-r.Context().Done():
-			return
-		case <-t.C:
-		}
-		in.next.ServeHTTP(w, r)
-	case Truncate:
-		in.truncate(w, r)
-	case Hang:
-		t := time.NewTimer(in.cfg.HangMax)
-		defer t.Stop()
-		select {
-		case <-r.Context().Done():
-		case <-t.C:
-		}
-	}
-}
-
-// reset drops the connection with no response; with SO_LINGER 0 the client
-// sees a TCP reset, otherwise an unexpected EOF.
-func (in *Injector) reset(w http.ResponseWriter) {
-	hj, ok := w.(http.Hijacker)
-	if !ok {
-		// Can't drop the connection on this ResponseWriter; degrade to a
-		// retryable server error.
-		http.Error(w, "injected reset", http.StatusInternalServerError)
-		return
-	}
-	conn, _, err := hj.Hijack()
-	if err != nil {
-		http.Error(w, "injected reset", http.StatusInternalServerError)
-		return
-	}
-	if tcp, ok := conn.(*net.TCPConn); ok {
-		tcp.SetLinger(0)
-	}
-	conn.Close()
-}
-
-// truncate serves the real response but declares its full length while
-// writing only half, so the client fails reading the body.
-func (in *Injector) truncate(w http.ResponseWriter, r *http.Request) {
-	rec := &recorder{header: make(http.Header), code: http.StatusOK}
-	in.next.ServeHTTP(rec, r)
-	body := rec.buf.Bytes()
-	if rec.code != http.StatusOK || len(body) < 2 {
-		// Nothing meaningful to truncate; drop the connection instead.
-		in.reset(w)
-		return
-	}
-	for k, vs := range rec.header {
-		w.Header()[k] = vs
-	}
-	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
-	w.WriteHeader(rec.code)
-	w.Write(body[:len(body)/2])
-	// Returning with fewer bytes than declared makes net/http close the
-	// connection; the client's body read ends in unexpected EOF.
-}
-
-// recorder captures the wrapped handler's response for Truncate.
-type recorder struct {
-	header http.Header
-	code   int
-	buf    bytes.Buffer
-}
-
-func (r *recorder) Header() http.Header { return r.header }
-func (r *recorder) WriteHeader(c int)   { r.code = c }
-func (r *recorder) Write(b []byte) (int, error) {
-	return r.buf.Write(b)
-}
+// TransientKinds are the faults a retrying client recovers from when the
+// fault clears.
+var TransientKinds = faultinject.TransientKinds

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"webrev/internal/concept"
+	"webrev/internal/core"
+	"webrev/internal/corpus"
+	"webrev/internal/faultinject"
+	"webrev/internal/obs"
+	"webrev/internal/xmlout"
+)
+
+// ---------------------------------------------------------------------------
+// E10: build fault tolerance (beyond the paper)
+// ---------------------------------------------------------------------------
+
+// FaultToleranceRow is one point of the E10 sweep: a full build with
+// deterministic faults injected into the per-document conversion stage at
+// the given rate.
+type FaultToleranceRow struct {
+	// Rate is the configured fault rate.
+	Rate float64
+	// Injected is the number of faults actually fired.
+	Injected int
+	// Quarantined and Survivors partition the input corpus.
+	Quarantined int
+	Survivors   int
+	// FailureRatio is Quarantined over the input size.
+	FailureRatio float64
+	// Succeeded is whether the build stayed within its error budget.
+	Succeeded bool
+	// Fidelity is whether the surviving output is byte-identical to a
+	// clean (fault-free) build over exactly the surviving subset — the
+	// isolation guarantee: a failing document affects only itself.
+	// Meaningful only when Succeeded.
+	Fidelity bool
+	// Wall is the faulty build's wall-clock time.
+	Wall time.Duration
+}
+
+// FaultToleranceResult is the E10 sweep: injected-fault rate versus build
+// success and output fidelity, demonstrating the per-document fault
+// boundary and the Config.MaxFailureRatio error budget.
+type FaultToleranceResult struct {
+	Docs   int
+	Budget float64
+	Rows   []FaultToleranceRow
+}
+
+// faultToleranceSources generates the corpus with unique source names, so
+// fault placement (keyed by name) is unambiguous.
+func faultToleranceSources(nDocs int, seed int64) []core.Source {
+	g := corpus.New(corpus.Options{Seed: seed})
+	var sources []core.Source
+	for i, r := range g.Corpus(nDocs) {
+		sources = append(sources, core.Source{
+			Name: fmt.Sprintf("doc-%03d-%s", i, r.Name),
+			HTML: r.HTML,
+		})
+	}
+	return sources
+}
+
+// renderBuild flattens a build result to its deterministic text artifacts
+// for fidelity comparison.
+func renderBuild(r *core.Repository) string {
+	var b strings.Builder
+	b.WriteString(r.DTD.Render())
+	for i, c := range r.Conformed {
+		b.WriteString(r.Docs[i].Source)
+		b.WriteString("\n")
+		b.WriteString(xmlout.Marshal(c))
+	}
+	return b.String()
+}
+
+// RunFaultTolerance builds the same generated corpus under per-document
+// fault injection (panics and errors in the conversion stage) at each
+// rate, recording whether the build succeeds within the budget error
+// budget (0 selects the pipeline default) and whether the surviving output
+// is byte-identical to a clean build over the surviving subset.
+func RunFaultTolerance(nDocs int, rates []float64, budget float64, seed int64) (FaultToleranceResult, error) {
+	sources := faultToleranceSources(nDocs, seed)
+	res := FaultToleranceResult{Docs: nDocs, Budget: budget}
+	if res.Budget == 0 {
+		res.Budget = 0.5 // the pipeline default
+	}
+
+	cleanPipeline := func() (*core.Pipeline, error) {
+		return core.New(core.Config{
+			Concepts:    concept.ResumeConcepts(),
+			Constraints: concept.ResumeConstraints(),
+			RootName:    "resume",
+		})
+	}
+
+	for _, rate := range rates {
+		inject := faultinject.NewStage(faultinject.StageConfig{
+			Seed:   seed,
+			Rate:   rate,
+			Kinds:  []faultinject.StageKind{faultinject.StagePanic, faultinject.StageError},
+			Stages: []string{obs.StageConvert},
+		})
+		p, err := core.New(core.Config{
+			Concepts:        concept.ResumeConcepts(),
+			Constraints:     concept.ResumeConstraints(),
+			RootName:        "resume",
+			Inject:          inject,
+			MaxFailureRatio: budget,
+		})
+		if err != nil {
+			return res, err
+		}
+		row := FaultToleranceRow{Rate: rate}
+		t0 := time.Now()
+		repo, err := p.Build(sources)
+		row.Wall = time.Since(t0)
+		row.Injected = inject.Total()
+		row.Succeeded = err == nil
+		if repo != nil {
+			row.Quarantined = len(repo.Quarantined)
+			row.Survivors = len(repo.Docs)
+			row.FailureRatio = repo.FailureRatio()
+		}
+		if row.Succeeded {
+			quarantined := make(map[string]bool, len(repo.Quarantined))
+			for _, rec := range repo.Quarantined {
+				quarantined[rec.URL] = true
+			}
+			var survivors []core.Source
+			for _, s := range sources {
+				if !quarantined[s.Name] {
+					survivors = append(survivors, s)
+				}
+			}
+			cp, err := cleanPipeline()
+			if err != nil {
+				return res, err
+			}
+			clean, err := cp.Build(survivors)
+			if err != nil {
+				return res, fmt.Errorf("clean reference build: %w", err)
+			}
+			row.Fidelity = renderBuild(repo) == renderBuild(clean)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Report renders the E10 result.
+func (r FaultToleranceResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E10 — Build fault tolerance: injected fault rate vs success and fidelity\n")
+	fmt.Fprintf(&b, "  corpus: %d documents; error budget %.0f%% quarantined\n", r.Docs, r.Budget*100)
+	fmt.Fprintf(&b, "  %6s  %8s  %11s  %9s  %7s  %8s  %8s\n",
+		"rate", "injected", "quarantined", "survivors", "build", "fidelity", "wall")
+	for _, row := range r.Rows {
+		status := "FAIL"
+		if row.Succeeded {
+			status = "ok"
+		}
+		fidelity := "-"
+		if row.Succeeded {
+			fidelity = fmt.Sprintf("%v", row.Fidelity)
+		}
+		fmt.Fprintf(&b, "  %5.0f%%  %8d  %11d  %9d  %7s  %8s  %8v\n",
+			row.Rate*100, row.Injected, row.Quarantined, row.Survivors,
+			status, fidelity, row.Wall.Round(time.Millisecond))
+	}
+	b.WriteString("  isolation holds when every successful row has fidelity=true: a faulty\n")
+	b.WriteString("  document is dropped without perturbing any other document's output.\n")
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFaultTolerance(t *testing.T) {
+	res, err := RunFaultTolerance(40, []float64{0, 0.2, 1.0}, 0.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+
+	clean := res.Rows[0]
+	if !clean.Succeeded || clean.Quarantined != 0 || clean.Survivors != 40 || !clean.Fidelity {
+		t.Fatalf("clean row wrong: %+v", clean)
+	}
+
+	faulty := res.Rows[1]
+	if !faulty.Succeeded {
+		t.Fatalf("20%% fault rate should stay within a 50%% budget: %+v", faulty)
+	}
+	if faulty.Quarantined == 0 || faulty.Quarantined != faulty.Injected {
+		t.Fatalf("quarantine/injection mismatch: %+v", faulty)
+	}
+	if faulty.Survivors+faulty.Quarantined != 40 {
+		t.Fatalf("survivors %d + quarantined %d != 40", faulty.Survivors, faulty.Quarantined)
+	}
+	if !faulty.Fidelity {
+		t.Fatal("surviving output diverged from a clean build over the survivors")
+	}
+
+	total := res.Rows[2]
+	if total.Succeeded {
+		t.Fatalf("100%% fault rate should exceed the budget: %+v", total)
+	}
+
+	rep := res.Report()
+	for _, want := range []string{"E10", "fault rate", "fidelity", "true", "FAIL"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

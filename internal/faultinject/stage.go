@@ -1,0 +1,196 @@
+package faultinject
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// StageKind is one failure mode injectable into a pipeline stage.
+type StageKind int
+
+const (
+	// StageNone leaves the unit of work untouched.
+	StageNone StageKind = iota
+	// StagePanic panics inside the unit of work — the crash a malformed
+	// document triggers in a converter or mapper.
+	StagePanic
+	// StageError makes the unit of work return an injected error.
+	StageError
+	// StageDelay stalls the unit of work for Config.Delay — the degenerate
+	// input that sends an O(n²) algorithm into minutes of work, compressed
+	// to a testable duration.
+	StageDelay
+)
+
+// String names the stage fault kind for reports and test output.
+func (k StageKind) String() string {
+	switch k {
+	case StageNone:
+		return "none"
+	case StagePanic:
+		return "panic"
+	case StageError:
+		return "error"
+	case StageDelay:
+		return "delay"
+	}
+	return "unknown"
+}
+
+// StageConfig parameterizes a Stage injector. The zero value injects
+// nothing.
+type StageConfig struct {
+	// Seed makes fault placement deterministic.
+	Seed int64
+	// Rate is the fraction of (stage, key) pairs that are faulty, in [0,1].
+	Rate float64
+	// Kinds are the fault kinds drawn for faulty pairs (default
+	// {StagePanic}).
+	Kinds []StageKind
+	// Stages restricts injection to the named stages (e.g.
+	// obs.StageConvert); empty means every stage is eligible.
+	Stages []string
+	// FaultsPerKey is how many times a faulty (stage, key) pair fires
+	// before it behaves normally (default 1). Negative means it never
+	// recovers — a permanent fault, the right choice when a retry or a
+	// checkpoint resume must observe the same failure again.
+	FaultsPerKey int
+	// Delay is the stall injected by StageDelay faults (default 10ms).
+	Delay time.Duration
+}
+
+// Stage injects deterministic faults into per-document pipeline stages. A
+// nil *Stage is valid and injects nothing, so production code can call
+// Fire unconditionally on an optional injector.
+type Stage struct {
+	cfg    StageConfig
+	stages map[string]bool
+
+	mu       sync.Mutex
+	fired    map[string]int // faults already fired, per (stage, key)
+	injected map[StageKind]int
+}
+
+// NewStage returns a stage injector under cfg.
+func NewStage(cfg StageConfig) *Stage {
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = []StageKind{StagePanic}
+	}
+	if cfg.FaultsPerKey == 0 {
+		cfg.FaultsPerKey = 1
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = 10 * time.Millisecond
+	}
+	s := &Stage{
+		cfg:      cfg,
+		fired:    make(map[string]int),
+		injected: make(map[StageKind]int),
+	}
+	if len(cfg.Stages) > 0 {
+		s.stages = make(map[string]bool, len(cfg.Stages))
+		for _, st := range cfg.Stages {
+			s.stages[st] = true
+		}
+	}
+	return s
+}
+
+// Decide returns the fault assigned to (stage, key) — a pure function of
+// the configured seed and the pair, independent of call history.
+func (s *Stage) Decide(stage, key string) StageKind {
+	if s == nil || s.cfg.Rate <= 0 {
+		return StageNone
+	}
+	if s.stages != nil && !s.stages[stage] {
+		return StageNone
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(s.cfg.Seed))
+	h.Write(seed[:])
+	io.WriteString(h, stage)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	if rng.Float64() >= s.cfg.Rate {
+		return StageNone
+	}
+	return s.cfg.Kinds[rng.Intn(len(s.cfg.Kinds))]
+}
+
+// InjectedError is the error type StageError faults return, so tests can
+// tell injected failures from real ones.
+type InjectedError struct {
+	Stage string
+	Key   string
+}
+
+// Error describes the injected failure.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %s for %q", e.Stage, e.Key)
+}
+
+// Fire injects the pair's fault while its budget lasts: it panics
+// (StagePanic), sleeps and returns nil (StageDelay), or returns an
+// *InjectedError (StageError). Healthy pairs and nil injectors return nil
+// immediately. Safe for concurrent use.
+func (s *Stage) Fire(stage, key string) error {
+	kind := s.Decide(stage, key)
+	if kind == StageNone {
+		return nil
+	}
+	id := stage + "\x00" + key
+	s.mu.Lock()
+	if s.cfg.FaultsPerKey >= 0 && s.fired[id] >= s.cfg.FaultsPerKey {
+		s.mu.Unlock()
+		return nil // fault cleared: transient failure recovers
+	}
+	s.fired[id]++
+	s.injected[kind]++
+	s.mu.Unlock()
+
+	switch kind {
+	case StagePanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s for %q", stage, key))
+	case StageDelay:
+		time.Sleep(s.cfg.Delay)
+		return nil
+	case StageError:
+		return &InjectedError{Stage: stage, Key: key}
+	}
+	return nil
+}
+
+// Injected returns a copy of the per-kind tally of faults injected so far.
+func (s *Stage) Injected() map[StageKind]int {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[StageKind]int, len(s.injected))
+	for k, n := range s.injected {
+		out[k] = n
+	}
+	return out
+}
+
+// Total returns the number of faults injected so far.
+func (s *Stage) Total() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.injected {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestStageNilInjectsNothing(t *testing.T) {
+	var s *Stage
+	if err := s.Fire("convert", "doc-1"); err != nil {
+		t.Fatalf("nil injector returned error: %v", err)
+	}
+	if s.Total() != 0 {
+		t.Fatalf("nil injector Total = %d", s.Total())
+	}
+	if got := s.Decide("convert", "doc-1"); got != StageNone {
+		t.Fatalf("nil injector Decide = %v", got)
+	}
+}
+
+func TestStageDecideDeterministic(t *testing.T) {
+	a := NewStage(StageConfig{Seed: 7, Rate: 0.5})
+	b := NewStage(StageConfig{Seed: 7, Rate: 0.5})
+	faulty := 0
+	for i := 0; i < 200; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		ka, kb := a.Decide("convert", key), b.Decide("convert", key)
+		if ka != kb {
+			t.Fatalf("Decide(%q) differs across equal configs: %v vs %v", key, ka, kb)
+		}
+		if ka != StageNone {
+			faulty++
+		}
+	}
+	if faulty == 0 || faulty == 200 {
+		t.Fatalf("rate 0.5 placed %d/200 faults; placement degenerate", faulty)
+	}
+}
+
+func TestStageDecideVariesByStage(t *testing.T) {
+	s := NewStage(StageConfig{Seed: 3, Rate: 0.5})
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		key := string(rune('a' + i))
+		if s.Decide("convert", key) != s.Decide("map.conform", key) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("fault placement identical across stages; stage not mixed into the hash")
+	}
+}
+
+func TestStageStagesFilter(t *testing.T) {
+	s := NewStage(StageConfig{Seed: 1, Rate: 1, Stages: []string{"map.conform"}})
+	if got := s.Decide("convert", "x"); got != StageNone {
+		t.Fatalf("filtered stage fired: %v", got)
+	}
+	if got := s.Decide("map.conform", "x"); got == StageNone {
+		t.Fatal("allowed stage did not fire at rate 1")
+	}
+}
+
+func TestStagePanicFiresOnceThenRecovers(t *testing.T) {
+	s := NewStage(StageConfig{Seed: 1, Rate: 1})
+	panicked := func() (p bool) {
+		defer func() {
+			if recover() != nil {
+				p = true
+			}
+		}()
+		s.Fire("convert", "doc")
+		return false
+	}
+	if !panicked() {
+		t.Fatal("rate-1 panic injector did not panic")
+	}
+	if panicked() {
+		t.Fatal("transient fault fired twice with FaultsPerKey=1")
+	}
+	if s.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", s.Total())
+	}
+}
+
+func TestStagePermanentFault(t *testing.T) {
+	s := NewStage(StageConfig{Seed: 1, Rate: 1, Kinds: []StageKind{StageError}, FaultsPerKey: -1})
+	for i := 0; i < 3; i++ {
+		err := s.Fire("convert", "doc")
+		var inj *InjectedError
+		if !errors.As(err, &inj) {
+			t.Fatalf("fire %d: got %v, want *InjectedError", i, err)
+		}
+	}
+	if s.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", s.Total())
+	}
+}
+
+func TestStageDelay(t *testing.T) {
+	s := NewStage(StageConfig{Seed: 1, Rate: 1, Kinds: []StageKind{StageDelay}, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := s.Fire("convert", "doc"); err != nil {
+		t.Fatalf("delay fault returned error: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay fault did not stall")
+	}
+	if got := s.Injected()[StageDelay]; got != 1 {
+		t.Fatalf("Injected[StageDelay] = %d, want 1", got)
+	}
+}

@@ -1,0 +1,64 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+
+	"webrev/internal/dom"
+)
+
+func TestParseLimitedMaxNodes(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		b.WriteString("<p>x</p>")
+	}
+	doc, truncated := ParseLimited(b.String(), Limits{MaxNodes: 20})
+	if !truncated {
+		t.Fatal("node limit not reported as truncation")
+	}
+	if n := doc.CountNodes(); n > 21 { // document node + 20 budget
+		t.Fatalf("tree has %d nodes, limit was 20", n)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("truncated tree invalid: %v", err)
+	}
+}
+
+func TestParseLimitedMaxDepth(t *testing.T) {
+	deep := strings.Repeat("<div>", 200) + "leaf" + strings.Repeat("</div>", 200)
+	doc, truncated := ParseLimited(deep, Limits{MaxDepth: 10})
+	if !truncated {
+		t.Fatal("depth limit not reported as truncation")
+	}
+	maxDepth := 0
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode {
+			if d := n.Depth(); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		return true
+	})
+	if maxDepth > 10 {
+		t.Fatalf("tree depth %d exceeds limit 10", maxDepth)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("truncated tree invalid: %v", err)
+	}
+	// The dropped elements' text still lands in the deepest kept element.
+	if got := strings.Join(doc.AllText(), " "); !strings.Contains(got, "leaf") {
+		t.Fatalf("text of over-depth elements lost: %q", got)
+	}
+}
+
+func TestParseLimitedUnlimitedMatchesParse(t *testing.T) {
+	src := "<html><body><p>a;b</p><ul><li>x<li>y</ul></body></html>"
+	a := Parse(src)
+	b, truncated := ParseLimited(src, Limits{})
+	if truncated {
+		t.Fatal("unlimited parse reported truncation")
+	}
+	if !a.Equal(b) {
+		t.Fatal("ParseLimited{} differs from Parse")
+	}
+}

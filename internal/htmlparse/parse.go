@@ -62,7 +62,26 @@ var closeBarrier = map[string]bool{
 // authored; documents without <html>/<body> wrappers keep their natural
 // shape under the document node.
 func Parse(src string) *dom.Node {
-	p := &parser{doc: dom.NewDocument()}
+	doc, _ := ParseLimited(src, Limits{})
+	return doc
+}
+
+// Limits bounds a parse, guarding the pipeline against pathological
+// documents (enormous node counts, degenerate nesting) that would
+// otherwise stall everything downstream. Zero fields are unlimited.
+type Limits struct {
+	// MaxNodes caps the number of nodes added to the tree; once reached
+	// the rest of the input is dropped.
+	MaxNodes int
+	// MaxDepth caps the open-element depth; start tags past it are
+	// dropped (their text still flows into the nearest open element).
+	MaxDepth int
+}
+
+// ParseLimited is Parse under resource limits. It reports whether any
+// limit truncated the result; the returned tree is always well formed.
+func ParseLimited(src string, lim Limits) (doc *dom.Node, truncated bool) {
+	p := &parser{doc: dom.NewDocument(), lim: lim}
 	p.stack = []*dom.Node{p.doc}
 	z := NewTokenizer(src)
 	for {
@@ -70,9 +89,14 @@ func Parse(src string) *dom.Node {
 		if tok.Type == ErrorToken {
 			break
 		}
+		if lim.MaxNodes > 0 && p.nodes >= lim.MaxNodes {
+			// Node budget exhausted: drop the remainder of the input.
+			p.truncated = true
+			break
+		}
 		p.process(tok)
 	}
-	return p.doc
+	return p.doc, p.truncated
 }
 
 // ParseBody parses src and returns the subtree most useful for conversion:
@@ -86,14 +110,28 @@ func ParseBody(src string) *dom.Node {
 }
 
 type parser struct {
-	doc   *dom.Node
-	stack []*dom.Node // open element stack; stack[0] is the document
+	doc       *dom.Node
+	stack     []*dom.Node // open element stack; stack[0] is the document
+	lim       Limits
+	nodes     int // nodes added to the tree so far
+	truncated bool
 }
 
 func (p *parser) top() *dom.Node { return p.stack[len(p.stack)-1] }
 
-func (p *parser) push(n *dom.Node) {
+// overDepth reports whether opening one more element would exceed the
+// depth limit.
+func (p *parser) overDepth() bool {
+	return p.lim.MaxDepth > 0 && len(p.stack) > p.lim.MaxDepth
+}
+
+func (p *parser) append(n *dom.Node) {
 	p.top().AppendChild(n)
+	p.nodes++
+}
+
+func (p *parser) push(n *dom.Node) {
+	p.append(n)
 	p.stack = append(p.stack, n)
 }
 
@@ -107,11 +145,11 @@ func (p *parser) process(tok Token) {
 		if tok.Data == "" {
 			return
 		}
-		p.top().AppendChild(dom.NewText(tok.Data))
+		p.append(dom.NewText(tok.Data))
 	case CommentToken:
-		p.top().AppendChild(dom.NewComment(tok.Data))
+		p.append(dom.NewComment(tok.Data))
 	case DoctypeToken:
-		p.top().AppendChild(&dom.Node{Type: dom.DoctypeNode, Text: tok.Data})
+		p.append(&dom.Node{Type: dom.DoctypeNode, Text: tok.Data})
 	case StartTagToken, SelfClosingTagToken:
 		p.startTag(tok)
 	case EndTagToken:
@@ -122,12 +160,18 @@ func (p *parser) process(tok Token) {
 func (p *parser) startTag(tok Token) {
 	name := tok.Data
 	p.applyImpliedEnds(name)
+	if p.overDepth() {
+		// Depth budget exhausted: drop this element (its text content
+		// still flows into the nearest open element).
+		p.truncated = true
+		return
+	}
 	n := dom.NewElement(name)
 	for _, a := range tok.Attr {
 		n.SetAttr(a.Name, a.Value)
 	}
 	if tok.Type == SelfClosingTagToken || voidElements[name] {
-		p.top().AppendChild(n)
+		p.append(n)
 		return
 	}
 	// A second <html>, <head> or <body> re-opens the existing one rather

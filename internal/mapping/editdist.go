@@ -4,6 +4,35 @@
 // the derived DTD and can easily be integrated into an XML document
 // repository". The package provides the Zhang–Shasha ordered tree edit
 // distance and a DTD-directed conformance transformation.
+//
+// # Cost model
+//
+// TreeDistance charges per elementary operation under a Costs table; the
+// standard UnitCosts model is:
+//
+//	operation            cost  applied to
+//	insert node          1     every node of the target absent from the source
+//	delete node          1     every node of the source absent from the target
+//	rename (labels ≠)    1     a matched pair with differing labels
+//	rename (labels =)    0     a matched pair with equal labels
+//
+// Element nodes compare by tag and text nodes by "#text:"-prefixed
+// content; comments and doctypes are ignored entirely. The conformance
+// transformation (Conform/ConformScript) reports its own EditStats whose
+// Cost() is the count of rename/insert/delete/merge/reorder/unwrap
+// operations it performed — comparable across schema variants, but not the
+// same scale as TreeDistance (a merge or unwrap bundles several elementary
+// edits).
+//
+// # Complexity and degenerate input
+//
+// Zhang–Shasha runs in O(|T1|·|T2|·min(depth,leaves)²) time and
+// O(|T1|·|T2|) space — quadratic in document size even for flat trees, so
+// callers mapping untrusted corpora should bound input size (see
+// core.Limits). Degenerate trees are safe: nil roots are treated as empty
+// trees (distance = cost of inserting/deleting the other side), and
+// single-node and comment-only trees take the n==0/m==0 fast path or the
+// ordinary recurrence without special cases.
 package mapping
 
 import (
@@ -42,7 +71,10 @@ func label(n *dom.Node) string {
 
 // TreeDistance computes the Zhang–Shasha ordered tree edit distance between
 // the trees rooted at t1 and t2 under the given cost model. Element and
-// text nodes participate; comments and doctypes are ignored.
+// text nodes participate; comments and doctypes are ignored. A nil root is
+// an empty tree: the distance degenerates to the cost of inserting (or
+// deleting) every node of the other side, and two nil roots are at
+// distance 0.
 func TreeDistance(t1, t2 *dom.Node, costs Costs) float64 {
 	a := newOrdered(t1)
 	b := newOrdered(t2)
@@ -58,6 +90,9 @@ type ordered struct {
 
 func newOrdered(root *dom.Node) *ordered {
 	o := &ordered{}
+	if root == nil {
+		return o
+	}
 	var walk func(n *dom.Node) int // returns index of n's leftmost leaf
 	walk = func(n *dom.Node) int {
 		lm := -1

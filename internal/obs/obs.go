@@ -58,6 +58,9 @@ const (
 	StageMap     = "map.conform"      // DTD-guided document mapping, per document
 	StageCrawl   = "crawl"            // acquisition crawl (bridged from crawler.Report)
 	StageMerge   = "schema.merge"     // merging per-shard schema accumulators (streaming build)
+	// StageCheckpoint times each snapshot of the streaming build's
+	// accumulator state to the checkpoint directory.
+	StageCheckpoint = "checkpoint.write"
 )
 
 // PipelineStages lists the stages a full Build exercises, in order.
@@ -80,6 +83,10 @@ const (
 	CtrDTDElements    = "dtd.elements"        // element declarations derived
 	CtrMapEdits       = "map.edits"           // total edit operations across documents
 	CtrMapDocs        = "map.docs"            // documents through conformance mapping
+	CtrDocsQuarantined = "docs.quarantined" // documents dropped by per-document fault isolation
+	CtrDocsDegraded    = "docs.degraded"    // documents kept but truncated or identity-mapped by limits
+	CtrDocsRestored    = "docs.restored"    // documents restored from a streaming-build checkpoint
+	CtrCheckpoints     = "checkpoint.writes" // checkpoint snapshots written by the streaming build
 	CtrCrawlFetched   = "crawl.fetched"
 	CtrCrawlFailed    = "crawl.failed"
 	CtrCrawlRetried   = "crawl.retried"

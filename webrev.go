@@ -86,6 +86,43 @@ type (
 	CrawlReport = crawler.Report
 )
 
+// Re-exported fault-isolation types (see internal/core and the "Failure
+// domains & recovery" section of ARCHITECTURE.md). Each per-document unit
+// of work runs inside a fault boundary: failures quarantine the document
+// instead of aborting the build, subject to Config.MaxFailureRatio.
+type (
+	// FailureRecord describes one per-document failure: stage, document,
+	// kind, error, and (for panics) the stack.
+	FailureRecord = core.FailureRecord
+	// FailureKind classifies a FailureRecord (panic, timeout, error,
+	// limit).
+	FailureKind = core.FailureKind
+	// Limits bounds the resources one document may consume (DOM size,
+	// token budget, per-document deadline, mapping edit-cost ceiling);
+	// set it on Config.Limits.
+	Limits = core.Limits
+	// QuarantineStore is the directory-backed log of quarantined
+	// documents (Config.QuarantineDir) that `webrev quarantine` lists and
+	// replays.
+	QuarantineStore = core.QuarantineStore
+	// QuarantinedDoc is one QuarantineStore entry.
+	QuarantinedDoc = core.QuarantinedDoc
+)
+
+// Failure kinds a FailureRecord carries.
+const (
+	FailPanic   = core.FailPanic
+	FailTimeout = core.FailTimeout
+	FailError   = core.FailError
+	FailLimit   = core.FailLimit
+)
+
+// OpenQuarantineStore opens (creating if needed) the quarantine store at
+// dir — the directory a build configured as Config.QuarantineDir wrote.
+func OpenQuarantineStore(dir string) (*QuarantineStore, error) {
+	return core.OpenQuarantineStore(dir)
+}
+
 // Acquire crawls from seed under ctx with the given crawler and adapts the
 // on-topic pages into pipeline Sources, alongside the crawl's report.
 func Acquire(ctx context.Context, c *Crawler, seed string) ([]Source, *CrawlReport, error) {
