@@ -8,7 +8,18 @@ GO ?= go
 # Per-target budget for `make fuzz` (and the fuzz leg of `make check`).
 FUZZTIME ?= 5s
 
-.PHONY: build test vet race fuzz bench bench-stream-short docs-lint chaos check
+.PHONY: build test vet race fuzz bench bench-convert bench-stream-short \
+	docs-lint chaos coverage check ci-test ci-race-chaos ci-fuzz-docs
+
+# Packages whose statement coverage is gated in CI (the convert hot path).
+COVER_PKGS = webrev/internal/bayes webrev/internal/convert webrev/internal/xmlout
+# Floor enforced by `make coverage` / the CI coverage job.
+COVER_FLOOR ?= 70
+
+# Benchmarks gating the CI bench-regression job: the per-document convert
+# hot path (tokenize, classify, concept matching, parse, serialize) plus
+# the schema stages.
+CONVERT_BENCH = 'BenchmarkConvertResume|BenchmarkClassify|BenchmarkFrozenClassify|BenchmarkFindAllResume|BenchmarkParseResumeLike|BenchmarkMarshal|BenchmarkExtract|BenchmarkDiscover'
 
 build:
 	$(GO) build ./...
@@ -42,6 +53,21 @@ bench:
 	$(GO) run ./cmd/webrev experiments -run E8 -docs 100 -seed 1 -metrics BENCH_pipeline.json
 	$(GO) run ./cmd/webrev experiments -run E9 -docs 200 -seed 1 -metrics BENCH_stream.json
 
+# Convert-stage throughput snapshot: runs the hot-path benchmarks (3
+# repeats, min kept) and writes BENCH_convert.json with commit/platform
+# metadata via cmd/benchdiff. Compare two snapshots with
+#   go run ./cmd/benchdiff -old base.json -new head.json -threshold 15
+bench-convert:
+	$(GO) test -run '^$$' -bench $(CONVERT_BENCH) -benchmem -count 3 ./... \
+		| tee /tmp/bench_convert.txt
+	$(GO) run ./cmd/benchdiff -parse -out BENCH_convert.json /tmp/bench_convert.txt
+
+# Statement-coverage gate over the hot-path packages. Writes cover.out
+# (published as a CI artifact) and fails below COVER_FLOOR percent.
+coverage:
+	$(GO) test -coverprofile cover.out -covermode atomic $(addprefix ./,$(subst webrev/,,$(COVER_PKGS)))
+	$(GO) run ./cmd/covercheck -profile cover.out -floor $(COVER_FLOOR) $(COVER_PKGS)
+
 # One iteration of the batch-vs-streaming build benchmarks over a small
 # corpus: proves the streaming path still runs end to end without paying
 # for full benchmark statistics (the `make check` smoke leg).
@@ -60,5 +86,13 @@ docs-lint:
 # ARCHITECTURE.md, "Failure domains & recovery".
 chaos:
 	$(GO) test -short -run 'TestChaos|TestBuildStreamCheckpoint' ./internal/core/
+
+# CI matrix legs: the workflow splits `make check` into three parallel
+# jobs per Go version. Locally, `make check` remains their union.
+ci-test: build vet test
+
+ci-race-chaos: race chaos
+
+ci-fuzz-docs: fuzz docs-lint bench-stream-short
 
 check: build vet test race fuzz docs-lint chaos bench-stream-short

@@ -1,0 +1,231 @@
+// Command benchdiff parses `go test -bench` output into a stable JSON form
+// and compares two such files, failing on throughput regressions. It is the
+// gate behind the CI bench-regression job and `make bench-convert`.
+//
+// Usage:
+//
+//	benchdiff -parse [-out BENCH_convert.json] [bench.txt]
+//	benchdiff -old base.json -new head.json [-threshold 15] [-match REGEX]
+//
+// Parse mode reads benchmark output (a file argument or stdin), keeps the
+// best (minimum ns/op) run per benchmark across repeats, stamps build
+// metadata, and writes JSON. Compare mode diffs ns/op between two parsed
+// files and exits non-zero when any matched benchmark slows down by more
+// than the threshold percentage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"webrev/internal/obs"
+)
+
+// Result is the parsed measurement of one benchmark (best run across
+// repeats).
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	Iterations  int64   `json:"iterations,omitempty"`
+}
+
+// File is the on-disk shape of a parsed benchmark run.
+type File struct {
+	Meta       *obs.Meta         `json:"meta,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		parse     = flag.Bool("parse", false, "parse go test -bench output into JSON")
+		out       = flag.String("out", "", "output file for -parse (default stdout)")
+		oldPath   = flag.String("old", "", "baseline JSON for compare mode")
+		newPath   = flag.String("new", "", "candidate JSON for compare mode")
+		threshold = flag.Float64("threshold", 15, "fail when ns/op regresses by more than this percent")
+		match     = flag.String("match", "", "only compare benchmarks whose name matches this regexp")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse:
+		if err := runParse(flag.Arg(0), *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	case *oldPath != "" && *newPath != "":
+		regressed, err := runCompare(*oldPath, *newPath, *threshold, *match)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runParse(in, out string) error {
+	r := io.Reader(os.Stdin)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	file := &File{Meta: obs.CollectMeta("."), Benchmarks: parseBench(string(data))}
+	if len(file.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// parseBench extracts benchmark results from `go test -bench` output,
+// keeping the minimum ns/op per benchmark across repeated runs (the least
+// noisy estimate of true cost).
+func parseBench(s string) map[string]Result {
+	out := make(map[string]Result)
+	for _, line := range strings.Split(s, "\n") {
+		name, res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; !seen || res.NsPerOp < prev.NsPerOp {
+			out[name] = res
+		}
+	}
+	return out
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkConvertResume-8  34974  36348 ns/op  12.52 MB/s  16919 B/op  272 allocs/op
+//
+// The GOMAXPROCS suffix is stripped so files from different machines align.
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		case "MB/s":
+			res.MBPerS = v
+		}
+	}
+	return name, res, seen
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// runCompare prints a per-benchmark delta table and reports whether any
+// matched benchmark regressed beyond the threshold. Benchmarks present in
+// only one file are listed but never gate.
+func runCompare(oldPath, newPath string, threshold float64, match string) (bool, error) {
+	oldF, err := readFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newF, err := readFile(newPath)
+	if err != nil {
+		return false, err
+	}
+	var re *regexp.Regexp
+	if match != "" {
+		re, err = regexp.Compile(match)
+		if err != nil {
+			return false, fmt.Errorf("bad -match: %w", err)
+		}
+	}
+	names := make([]string, 0, len(newF.Benchmarks))
+	for name := range newF.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		nw := newF.Benchmarks[name]
+		old, ok := oldF.Benchmarks[name]
+		if !ok || old.NsPerOp == 0 {
+			fmt.Printf("%-40s %14s %14.1f %9s\n", name, "-", nw.NsPerOp, "new")
+			continue
+		}
+		pct := (nw.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		marker := ""
+		if pct > threshold {
+			marker = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-40s %14.1f %14.1f %+8.1f%%%s\n", name, old.NsPerOp, nw.NsPerOp, pct, marker)
+	}
+	if regressed {
+		fmt.Printf("\nFAIL: at least one benchmark regressed more than %.0f%% in ns/op\n", threshold)
+	}
+	return regressed, nil
+}

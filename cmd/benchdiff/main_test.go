@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: webrev/internal/convert
+BenchmarkConvertResume-8   	   34974	     36348 ns/op	  12.52 MB/s	   16919 B/op	     272 allocs/op
+BenchmarkConvertResume-8   	   36000	     35011 ns/op	  13.01 MB/s	   16920 B/op	     272 allocs/op
+BenchmarkMarshal 	   98108	     12082 ns/op	    4864 B/op	       1 allocs/op
+PASS
+ok  	webrev/internal/convert	2.5s
+`
+
+func TestParseBench(t *testing.T) {
+	got := parseBench(sampleOutput)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	conv, ok := got["BenchmarkConvertResume"]
+	if !ok {
+		t.Fatal("BenchmarkConvertResume missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if conv.NsPerOp != 35011 {
+		t.Errorf("NsPerOp = %v, want the minimum across repeats (35011)", conv.NsPerOp)
+	}
+	if conv.AllocsPerOp != 272 || conv.BytesPerOp != 16920 || conv.MBPerS != 13.01 {
+		t.Errorf("unexpected fields: %+v", conv)
+	}
+	m := got["BenchmarkMarshal"]
+	if m.NsPerOp != 12082 || m.AllocsPerOp != 1 {
+		t.Errorf("BenchmarkMarshal = %+v", m)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"", "PASS", "ok  	webrev	1s", "goos: linux",
+		"Benchmark", "BenchmarkX-8 notanumber 5 ns/op",
+		"BenchmarkNoNs-8 100 5 B/op",
+	} {
+		if name, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted as %q", line, name)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command covercheck enforces per-package coverage floors from a Go
+// coverprofile. CI runs the hot-path packages (bayes, convert, xmlout)
+// through it so optimization work cannot quietly shed test coverage.
+//
+// Usage:
+//
+//	covercheck -profile cover.out -floor 70 webrev/internal/bayes webrev/internal/convert
+//
+// Each package argument is matched against the directory of the files in
+// the profile. Exit status 1 when any listed package is under the floor.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// block is one coverprofile region; stmts statements executed count times.
+type block struct {
+	stmts, count int
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverprofile file to read")
+	floor := flag.Float64("floor", 70, "minimum statement coverage percent per package")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: no packages listed")
+		os.Exit(2)
+	}
+	cov, err := readProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, pkg := range pkgs {
+		blocks, ok := cov[pkg]
+		if !ok {
+			fmt.Printf("%-32s no profile data  FAIL\n", pkg)
+			failed = true
+			continue
+		}
+		total, covered := 0, 0
+		for _, b := range blocks {
+			total += b.stmts
+			if b.count > 0 {
+				covered += b.stmts
+			}
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = float64(covered) / float64(total) * 100
+		}
+		status := "ok"
+		if pct < *floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-32s %6.1f%% (%d/%d stmts, floor %.0f%%)  %s\n",
+			pkg, pct, covered, total, *floor, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readProfile parses a coverprofile into per-package block maps keyed by
+// "file:region". Repeated blocks (merged profiles) keep the highest count.
+func readProfile(p string) (map[string]map[string]block, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cov := make(map[string]map[string]block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:12.34,15.2 numStmts count
+		colon := strings.LastIndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("bad profile line: %q", line)
+		}
+		file := line[:colon]
+		rest := strings.Fields(line[colon+1:])
+		if len(rest) != 3 {
+			return nil, fmt.Errorf("bad profile line: %q", line)
+		}
+		stmts, err1 := strconv.Atoi(rest[1])
+		count, err2 := strconv.Atoi(rest[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad profile line: %q", line)
+		}
+		pkg := path.Dir(file)
+		if cov[pkg] == nil {
+			cov[pkg] = make(map[string]block)
+		}
+		key := file + ":" + rest[0]
+		b := cov[pkg][key]
+		b.stmts = stmts
+		if count > b.count {
+			b.count = count
+		}
+		cov[pkg][key] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cov, nil
+}

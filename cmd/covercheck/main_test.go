@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleProfile = `mode: atomic
+webrev/internal/bayes/bayes.go:10.20,12.2 2 5
+webrev/internal/bayes/bayes.go:14.1,16.2 3 0
+webrev/internal/bayes/frozen.go:8.1,9.2 1 1
+webrev/internal/xmlout/xmlout.go:5.1,7.2 4 0
+webrev/internal/bayes/bayes.go:10.20,12.2 2 0
+`
+
+func TestReadProfile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(p, []byte(sampleProfile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cov, err := readProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bayes := cov["webrev/internal/bayes"]
+	if len(bayes) != 3 {
+		t.Fatalf("bayes blocks = %d, want 3 (duplicate block must merge)", len(bayes))
+	}
+	// Duplicate block keeps the higher count.
+	if b := bayes["webrev/internal/bayes/bayes.go:10.20,12.2"]; b.count != 5 || b.stmts != 2 {
+		t.Errorf("merged block = %+v, want count 5 stmts 2", b)
+	}
+	total, covered := 0, 0
+	for _, b := range bayes {
+		total += b.stmts
+		if b.count > 0 {
+			covered += b.stmts
+		}
+	}
+	// 2 + 1 covered of 2 + 3 + 1 statements.
+	if total != 6 || covered != 3 {
+		t.Errorf("bayes total/covered = %d/%d, want 6/3", total, covered)
+	}
+	if xml := cov["webrev/internal/xmlout"]; len(xml) != 1 {
+		t.Errorf("xmlout blocks = %d, want 1", len(xml))
+	}
+}

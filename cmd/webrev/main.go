@@ -129,7 +129,9 @@ func startObs(coll *obs.Collector, metricsOut, pprofAddr string, w io.Writer) (f
 			dbg.Close()
 		}
 		if metricsOut != "" {
-			if err := coll.Snapshot().WriteFile(metricsOut); err != nil {
+			snap := coll.Snapshot()
+			snap.Meta = obs.CollectMeta(".")
+			if err := snap.WriteFile(metricsOut); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "wrote metrics snapshot to %s\n", metricsOut)

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"unicode"
 )
 
@@ -31,6 +32,9 @@ type Classifier struct {
 	// MinLogOdds is the margin (in nats) by which the best class must beat
 	// the uniform prior baseline to avoid Unknown. Zero accepts everything.
 	MinLogOdds float64
+
+	// frozen caches the compiled snapshot built by Freeze; Train clears it.
+	frozen atomic.Pointer[Frozen]
 }
 
 // New returns an empty classifier.
@@ -62,6 +66,7 @@ func (c *Classifier) Train(text, class string) {
 		c.classTotals[class]++
 		c.vocab[w] = struct{}{}
 	}
+	c.frozen.Store(nil)
 }
 
 // Classes returns the trained class names, sorted.
@@ -80,33 +85,13 @@ func (c *Classifier) Trained() bool { return c.totalDocs > 0 }
 // Classify returns the most probable class for text and its log-probability
 // score. When the classifier is untrained or the text has no recognizable
 // words, it returns Unknown with a zero score.
+//
+// Classification runs on the frozen snapshot (see Freeze): the per-token
+// log-likelihood tables are compiled once after the last Train call and
+// repeated tokens are served from a memo, so per-call cost is a cache probe
+// or a handful of table lookups — never math.Log.
 func (c *Classifier) Classify(text string) (string, float64) {
-	words := Words(text)
-	if len(words) == 0 || c.totalDocs == 0 {
-		return Unknown, 0
-	}
-	v := float64(len(c.vocab))
-	best, second := math.Inf(-1), math.Inf(-1)
-	bestClass := Unknown
-	for class, docs := range c.classDocs {
-		score := math.Log(float64(docs) / float64(c.totalDocs))
-		wc := c.classWords[class]
-		total := float64(c.classTotals[class])
-		for _, w := range words {
-			score += math.Log((float64(wc[w]) + 1) / (total + v))
-		}
-		if score > best {
-			second = best
-			best = score
-			bestClass = class
-		} else if score > second {
-			second = score
-		}
-	}
-	if c.MinLogOdds > 0 && len(c.classDocs) > 1 && best-second < c.MinLogOdds {
-		return Unknown, best
-	}
-	return bestClass, best
+	return c.Freeze().Classify(text)
 }
 
 // Probabilities returns the posterior distribution over classes for text

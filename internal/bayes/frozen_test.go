@@ -1,0 +1,201 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// referenceClassify re-implements the pre-freeze classifier verbatim (per
+// call math.Log over the raw counts, map iteration replaced by the sorted
+// class order the frozen path uses) so tests can assert the compiled tables
+// give bit-identical scores.
+func referenceClassify(c *Classifier, text string) (string, float64) {
+	words := Words(text)
+	if len(words) == 0 || c.totalDocs == 0 {
+		return Unknown, 0
+	}
+	v := float64(len(c.vocab))
+	best, second := math.Inf(-1), math.Inf(-1)
+	bestClass := Unknown
+	for _, class := range c.Classes() {
+		docs := c.classDocs[class]
+		score := math.Log(float64(docs) / float64(c.totalDocs))
+		wc := c.classWords[class]
+		total := float64(c.classTotals[class])
+		for _, w := range words {
+			score += math.Log((float64(wc[w]) + 1) / (total + v))
+		}
+		if score > best {
+			second = best
+			best = score
+			bestClass = class
+		} else if score > second {
+			second = score
+		}
+	}
+	if c.MinLogOdds > 0 && len(c.classDocs) > 1 && best-second < c.MinLogOdds {
+		return Unknown, best
+	}
+	return bestClass, best
+}
+
+func frozenFixture() *Classifier {
+	c := New()
+	c.Train("University of California at Davis", "institution")
+	c.Train("Stanford University", "institution")
+	c.Train("B.S. Computer Science", "degree")
+	c.Train("M.S. Electrical Engineering", "degree")
+	c.Train("June 1996", "date")
+	c.Train("January 1998 - present", "date")
+	c.Train("Software Engineer", "jobtitle")
+	c.Train("Assistant Professor", "jobtitle")
+	return c
+}
+
+func TestFrozenMatchesReference(t *testing.T) {
+	c := frozenFixture()
+	inputs := []string{
+		"University of Texas",
+		"Ph.D. Computer Science",
+		"March 2001",
+		"Senior Software Engineer",
+		"GPA 3.8/4.0",
+		"", "   ", ";;;",
+		"B.S.(Computer Science)",
+		"Universität München", // non-ASCII path
+		"June 1996",
+	}
+	for _, minOdds := range []float64{0, 0.5, 5} {
+		c.MinLogOdds = minOdds
+		f := c.Freeze()
+		for _, in := range inputs {
+			wantClass, wantScore := referenceClassify(c, in)
+			gotClass, gotScore := f.Classify(in)
+			if gotClass != wantClass || gotScore != wantScore {
+				t.Errorf("minOdds=%v Classify(%q) = (%q, %v), reference (%q, %v)",
+					minOdds, in, gotClass, gotScore, wantClass, wantScore)
+			}
+			// A second call exercises the memo-hit path.
+			hitClass, hitScore := f.Classify(in)
+			if hitClass != gotClass || hitScore != gotScore {
+				t.Errorf("memo hit diverged for %q: (%q, %v) vs (%q, %v)",
+					in, hitClass, hitScore, gotClass, gotScore)
+			}
+		}
+	}
+}
+
+func TestFrozenMatchesReferenceQuick(t *testing.T) {
+	c := frozenFixture()
+	f := c.Freeze()
+	fn := func(text string) bool {
+		wc, ws := referenceClassify(c, text)
+		gc, gs := f.Classify(text)
+		return wc == gc && ws == gs
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreezeInvalidation(t *testing.T) {
+	c := New()
+	f0 := c.Freeze()
+	if f0.Trained() {
+		t.Fatal("untrained snapshot reports trained")
+	}
+	if class, score := f0.Classify("anything"); class != Unknown || score != 0 {
+		t.Fatalf("untrained Classify = %q, %v", class, score)
+	}
+	c.Train("foo bar", "a")
+	f1 := c.Freeze()
+	if f1 == f0 {
+		t.Fatal("Train did not invalidate the frozen snapshot")
+	}
+	if f1 != c.Freeze() {
+		t.Fatal("Freeze rebuilt without new training data")
+	}
+	c.MinLogOdds = 1.5
+	f2 := c.Freeze()
+	if f2 == f1 {
+		t.Fatal("MinLogOdds change did not invalidate the frozen snapshot")
+	}
+}
+
+func TestFrozenConcurrent(t *testing.T) {
+	c := frozenFixture()
+	f := c.Freeze()
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 500; i++ {
+				text := fmt.Sprintf("Software Engineer %d", i%37)
+				class, _ := f.Classify(text)
+				if class == "" {
+					t.Error("empty class")
+					break
+				}
+			}
+			done <- true
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}
+
+// TestFrozenClassifyMemoAllocs asserts the alloc win the tentpole claims:
+// a memoized token classifies with zero allocations.
+func TestFrozenClassifyMemoAllocs(t *testing.T) {
+	f := frozenFixture().Freeze()
+	const tok = "University of California at Davis, B.S. Computer Science, June 1996"
+	f.Classify(tok) // populate the memo
+	allocs := testing.AllocsPerRun(1000, func() { f.Classify(tok) })
+	if allocs != 0 {
+		t.Fatalf("memoized Classify allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestFrozenClassifyColdAllocs bounds the miss path: tokenizing into pooled
+// scratch and memo insertion must stay within a few allocations (the memo
+// key clone plus map growth), nowhere near the one-per-word of the
+// unfrozen path.
+func TestFrozenClassifyColdAllocs(t *testing.T) {
+	f := frozenFixture().Freeze()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		f.Classify(fmt.Sprintf("Department of Computer Science building %d floor %d", i, i%7))
+	})
+	// fmt.Sprintf costs ~3; the classify miss itself should add only the
+	// memo key clone and entry bookkeeping.
+	if allocs > 8 {
+		t.Fatalf("cold Classify allocates %v allocs/op, want <= 8", allocs)
+	}
+}
+
+func BenchmarkFrozenClassifyHit(b *testing.B) {
+	f := trained().Freeze()
+	const tok = "University of California at Davis, B.S. Computer Science, June 1996"
+	f.Classify(tok)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Classify(tok)
+	}
+}
+
+func BenchmarkFrozenClassifyCold(b *testing.B) {
+	f := trained().Freeze()
+	// Cycle through more unique texts than the memo holds so every call is
+	// a miss: this is the table-lookup (no memo) cost.
+	texts := make([]string, defaultMemoSize*2)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("University of California at Davis, B.S. Computer Science, June %d", i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Classify(texts[i%len(texts)])
+	}
+}

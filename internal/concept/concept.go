@@ -13,8 +13,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 	"unicode/utf8"
+
+	"webrev/internal/memo"
 )
 
 // Role classifies a concept for the constraint classes of §4.2: title names
@@ -37,17 +40,44 @@ type Concept struct {
 }
 
 // Set is an immutable collection of concepts with a compiled instance
-// matcher. Build one with NewSet.
+// matcher. Build one with NewSet. Sets are safe for concurrent use: the
+// only mutable state is an internal result memo, which is lock-protected.
 type Set struct {
 	concepts map[string]*Concept
 	ordered  []*Concept // insertion order, for deterministic iteration
 	// matcher: lowercase instance -> concept name; longest instances first.
 	instances []instanceEntry
+	// matches memoizes FindAll results per searched text. Entries are
+	// shared: callers must treat returned slices as read-only (all of the
+	// pipeline's call sites do).
+	matches *memo.Cache[[]Match]
 }
 
 type instanceEntry struct {
 	pattern string // lowercase
 	concept string
+	mask    byteMask // bytes occurring in pattern, for the pre-filter
+}
+
+// byteMask is a 256-bit set of byte values, the necessary-condition
+// pre-filter of the matcher: a pattern can only occur in a text whose
+// byte set is a superset of the pattern's.
+type byteMask [4]uint64
+
+func (m *byteMask) add(c byte) { m[c>>6] |= 1 << (c & 63) }
+
+// subsetOf reports whether every byte in m also occurs in of.
+func (m byteMask) subsetOf(of byteMask) bool {
+	return m[0]&^of[0] == 0 && m[1]&^of[1] == 0 &&
+		m[2]&^of[2] == 0 && m[3]&^of[3] == 0
+}
+
+func maskOf(s string) byteMask {
+	var m byteMask
+	for i := 0; i < len(s); i++ {
+		m.add(s[i])
+	}
+	return m
 }
 
 // NewSet compiles the given concepts into a Set. The concept's own name is
@@ -75,7 +105,7 @@ func NewSet(concepts ...Concept) (*Set, error) {
 			}
 			seen[low] = true
 			cc.Instances = append(cc.Instances, inst)
-			s.instances = append(s.instances, instanceEntry{pattern: low, concept: c.Name})
+			s.instances = append(s.instances, instanceEntry{pattern: low, concept: c.Name, mask: maskOf(low)})
 		}
 		add(c.Name)
 		for _, inst := range c.Instances {
@@ -88,8 +118,13 @@ func NewSet(concepts ...Concept) (*Set, error) {
 	sort.SliceStable(s.instances, func(i, j int) bool {
 		return len(s.instances[i].pattern) > len(s.instances[j].pattern)
 	})
+	s.matches = memo.New[[]Match](matchMemoSize)
 	return s, nil
 }
+
+// matchMemoSize bounds the per-set FindAll memo. Tokens repeat heavily in
+// template-derived corpora; see internal/memo.
+const matchMemoSize = 4096
 
 // MustSet is NewSet that panics on error, for tests and fixed vocabularies.
 func MustSet(concepts ...Concept) *Set {
@@ -133,11 +168,42 @@ type Match struct {
 // case-insensitively and on word boundaries, preferring longer instances.
 // Matches are returned in order of Start, with Start/End as byte offsets
 // into text itself.
+//
+// Results for repeated texts are served from a per-set memo and shared:
+// the returned slice must be treated as read-only.
 func (s *Set) FindAll(text string) []Match {
+	if ms, ok := s.matches.Get(text); ok {
+		return ms
+	}
+	ms := s.findAll(text)
+	// Clone the key: text is often a sub-slice of a whole parsed document,
+	// and retaining it would pin the document's backing array.
+	s.matches.Add(strings.Clone(text), ms)
+	return ms
+}
+
+// claimedPool recycles the per-call claimed-byte scratch of findAll.
+var claimedPool = sync.Pool{New: func() any { return new([]bool) }}
+
+func (s *Set) findAll(text string) []Match {
 	low, off := foldText(text)
-	claimed := make([]bool, len(low))
+	cp := claimedPool.Get().(*[]bool)
+	if cap(*cp) < len(low) {
+		*cp = make([]bool, len(low))
+	}
+	claimed := (*cp)[:len(low)]
+	for i := range claimed {
+		claimed[i] = false
+	}
+	textMask := maskOf(low)
 	var out []Match
 	for _, e := range s.instances {
+		if len(e.pattern) > len(low) || !e.mask.subsetOf(textMask) {
+			// The text cannot contain the pattern: it is shorter, or lacks
+			// one of the pattern's bytes. This filter rejects almost every
+			// instance for a typical short token at the cost of four ANDs.
+			continue
+		}
 		from := 0
 		for {
 			i := strings.Index(low[from:], e.pattern)
@@ -162,7 +228,10 @@ func (s *Set) FindAll(text string) []Match {
 			out = append(out, Match{Concept: e.concept, Instance: e.pattern, Start: start, End: end})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	claimedPool.Put(cp)
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	}
 	return out
 }
 

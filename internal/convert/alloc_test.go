@@ -1,0 +1,46 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAppendTokensAllocs pins the pooled tokenizer's allocation behaviour:
+// appending tokens into a pre-sized buffer must not allocate, since every
+// token is a substring of the input text. A regression here (e.g. someone
+// reintroducing strings.Split) multiplies allocations across every text
+// node of every converted document.
+func TestAppendTokensAllocs(t *testing.T) {
+	c := New(testSet(), Options{})
+	text := "Alice Smith, B.S. June 1995 University of Somewhere; skills: Go, SQL"
+	buf := make([]string, 0, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = c.appendTokens(buf[:0], text)
+	})
+	if allocs != 0 {
+		t.Errorf("appendTokens into pre-sized buffer: %v allocs/run, want 0", allocs)
+	}
+	if len(buf) == 0 {
+		t.Fatal("appendTokens produced no tokens")
+	}
+}
+
+// TestTokenizeMatchesAppendTokens keeps the exported Tokenize wrapper in
+// sync with the buffer-reusing path the converter itself uses.
+func TestTokenizeMatchesAppendTokens(t *testing.T) {
+	c := New(testSet(), Options{})
+	for _, text := range []string{
+		"", "   ", "one", "a, b; c", strings.Repeat("word ", 50),
+	} {
+		got := c.appendTokens(nil, text)
+		want := c.Tokenize(text)
+		if len(got) != len(want) {
+			t.Fatalf("appendTokens(%q) = %v, Tokenize = %v", text, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("appendTokens(%q)[%d] = %q, want %q", text, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ package convert
 
 import (
 	"strings"
+	"sync"
 
 	"webrev/internal/bayes"
 	"webrev/internal/concept"
@@ -166,16 +167,43 @@ func (s Stats) IdentifiedRatio() float64 {
 }
 
 // Converter transforms HTML documents into concept-tagged XML documents.
+// A Converter is safe for concurrent use: per-document scratch state lives
+// in pools, and the classifier is consulted through its frozen snapshot,
+// which all worker shards share (see bayes.Frozen).
 type Converter struct {
 	set  *concept.Set
 	opts Options
+	// delim is Options.Delimiters compiled to a byte table: the
+	// tokenization rule tests every input byte against it.
+	delim [256]bool
 }
 
 // New returns a Converter over the given concept set. opts zero fields are
-// filled with the paper's defaults.
+// filled with the paper's defaults. When opts.Classifier is trained, its
+// log-probability tables are frozen here, once, so the per-token
+// classification in every worker shard is pure table lookups over shared
+// state.
 func New(set *concept.Set, opts Options) *Converter {
-	return &Converter{set: set, opts: opts.applyDefaults()}
+	c := &Converter{set: set, opts: opts.applyDefaults()}
+	for i := 0; i < len(c.opts.Delimiters); i++ {
+		c.delim[c.opts.Delimiters[i]] = true
+	}
+	if c.opts.Classifier != nil {
+		// Warm the frozen snapshot so the first converted document does
+		// not pay the freeze; later Train calls re-freeze lazily.
+		c.opts.Classifier.Freeze()
+	}
+	return c
 }
+
+// scratch holds the per-document reusable buffers of one conversion.
+type scratch struct {
+	toks  []string    // tokenization rule output
+	texts []*dom.Node // collected text nodes
+	kids  []*dom.Node // consolidation child snapshot
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // Convert parses, cleans and restructures the HTML source into an XML
 // document tree rooted at an element named opts.RootName.
@@ -233,12 +261,12 @@ func (c *Converter) ConvertTree(body *dom.Node) (*dom.Node, Stats) {
 
 func countConcepts(root *dom.Node, set *concept.Set) int {
 	n := 0
-	root.Walk(func(m *dom.Node) bool {
-		if m.Type == dom.ElementNode && set.Has(m.Tag) {
-			n++
-		}
-		return true
-	})
+	if root.Type == dom.ElementNode && set.Has(root.Tag) {
+		n++
+	}
+	for _, ch := range root.Children {
+		n += countConcepts(ch, set)
+	}
 	return n
 }
 
@@ -250,27 +278,37 @@ func countConcepts(root *dom.Node, set *concept.Set) int {
 // whitespace and dropping empty tokens. Exposed for tests and the paper's
 // TOKEN-node semantics.
 func (c *Converter) Tokenize(text string) []string {
-	var out []string
+	return c.appendTokens(nil, text)
+}
+
+// appendTokens is Tokenize into a caller-owned buffer: the tokens (always
+// sub-slices of text) are appended to dst, so a recycled dst makes the
+// tokenization rule allocation-free.
+func (c *Converter) appendTokens(dst []string, text string) []string {
 	start := 0
 	for i := 0; i < len(text); i++ {
-		if strings.IndexByte(c.opts.Delimiters, text[i]) >= 0 {
+		if c.delim[text[i]] {
 			if tok := strings.TrimSpace(text[start:i]); tok != "" {
-				out = append(out, tok)
+				dst = append(dst, tok)
 			}
 			start = i + 1
 		}
 	}
 	if tok := strings.TrimSpace(text[start:]); tok != "" {
-		out = append(out, tok)
+		dst = append(dst, tok)
 	}
-	return out
+	return dst
 }
 
 // applyTextRules runs the tokenization and concept instance rules top-down,
 // replacing every text node with concept elements and folding unidentified
-// text into parent val attributes.
+// text into parent val attributes. Both the collected-text-node slice and
+// the per-node token slice come from a pooled scratch, so the rule
+// allocates only for the concept elements it creates.
 func (c *Converter) applyTextRules(root *dom.Node, stats *Stats) {
-	texts := root.FindAll(func(n *dom.Node) bool { return n.Type == dom.TextNode })
+	sc := scratchPool.Get().(*scratch)
+	texts := root.FindAllAppend(sc.texts[:0], func(n *dom.Node) bool { return n.Type == dom.TextNode })
+	toks := sc.toks
 	for _, tn := range texts {
 		parent := tn.Parent
 		if parent == nil {
@@ -278,7 +316,8 @@ func (c *Converter) applyTextRules(root *dom.Node, stats *Stats) {
 		}
 		at := parent.ChildIndex(tn)
 		tn.Detach()
-		for _, tok := range c.Tokenize(tn.Text) {
+		toks = c.appendTokens(toks[:0], tn.Text)
+		for _, tok := range toks {
 			if max := c.opts.Limits.MaxTokens; max > 0 && stats.Tokens >= max {
 				// Token budget exhausted: the rest of the document's text
 				// folds into parent vals uninspected, preserving the
@@ -295,6 +334,12 @@ func (c *Converter) applyTextRules(root *dom.Node, stats *Stats) {
 			}
 		}
 	}
+	// Drop references into the converted document before pooling the
+	// scratch, so a recycled buffer does not pin the previous tree.
+	clear(texts)
+	clear(toks)
+	sc.texts, sc.toks = texts[:0], toks[:0]
+	scratchPool.Put(sc)
 }
 
 // applyInstanceRule implements the concept instance rule for one token:
@@ -302,16 +347,20 @@ func (c *Converter) applyTextRules(root *dom.Node, stats *Stats) {
 // text into parent's val.
 func (c *Converter) applyInstanceRule(tok string, parent *dom.Node, stats *Stats) []*dom.Node {
 	matches := c.set.FindAll(tok)
-	if len(matches) == 0 && c.opts.Classifier != nil && c.opts.Classifier.Trained() {
-		sp := c.opts.Tracer.StartSpan(SpanClassify)
-		class, _ := c.opts.Classifier.Classify(tok)
-		sp.End()
-		if class != bayes.Unknown && c.set.Has(class) {
-			stats.IdentifiedTokens++
-			c.opts.Tracer.Add(obs.CtrClassifierHits, 1)
-			el := dom.NewElement(class)
-			el.SetVal(tok)
-			return []*dom.Node{el}
+	if len(matches) == 0 && c.opts.Classifier != nil {
+		// Freeze is an atomic load after the first call; every worker
+		// shard shares the same compiled tables and token memo.
+		if f := c.opts.Classifier.Freeze(); f.Trained() {
+			sp := c.opts.Tracer.StartSpan(SpanClassify)
+			class, _ := f.Classify(tok)
+			sp.End()
+			if class != bayes.Unknown && c.set.Has(class) {
+				stats.IdentifiedTokens++
+				c.opts.Tracer.Add(obs.CtrClassifierHits, 1)
+				el := dom.NewElement(class)
+				el.SetVal(tok)
+				return []*dom.Node{el}
+			}
 		}
 	}
 	switch len(matches) {
@@ -358,10 +407,11 @@ func (c *Converter) applyInstanceRule(tok string, parent *dom.Node, stats *Stats
 // into GROUP nodes that become children of the marker nodes.
 func (c *Converter) applyGroupingRule(n *dom.Node) {
 	c.groupLevel(n)
-	kids := make([]*dom.Node, len(n.Children))
-	copy(kids, n.Children)
-	for _, k := range kids {
-		if k.Parent == n && k.Type == dom.ElementNode {
+	// groupLevel has already rewritten n.Children; the recursion below
+	// only restructures each child's own subtree, so n.Children is stable
+	// and needs no defensive copy.
+	for _, k := range n.Children {
+		if k.Type == dom.ElementNode {
 			c.applyGroupingRule(k)
 		}
 	}
@@ -498,17 +548,17 @@ func (c *Converter) isConceptNode(n *dom.Node) bool {
 // consolidateNode processes n's children recursively, then removes
 // non-concept children of n according to the consolidation rule.
 func (c *Converter) consolidateNode(n *dom.Node) {
-	kids := make([]*dom.Node, len(n.Children))
-	copy(kids, n.Children)
-	for _, k := range kids {
-		if k.Parent == n {
-			c.consolidateNode(k)
-		}
+	// The recursion mutates only each child's own subtree, never
+	// n.Children, so it iterates in place.
+	for _, k := range n.Children {
+		c.consolidateNode(k)
 	}
 	// Now every grandchild level below n is consolidated; fold each
-	// non-concept child of n.
-	kids = make([]*dom.Node, len(n.Children))
-	copy(kids, n.Children)
+	// non-concept child of n. Folding rewrites n.Children (detach, splice,
+	// replace), so this loop runs over a snapshot — stack-buffered, which
+	// makes it allocation-free for the typical fan-out.
+	var stackBuf [16]*dom.Node
+	kids := append(stackBuf[:0], n.Children...)
 	for _, k := range kids {
 		if k.Parent != n || k.Type != dom.ElementNode || c.isConceptNode(k) {
 			continue

@@ -335,6 +335,20 @@ func (n *Node) Walk(fn func(*Node) bool) {
 	}
 }
 
+// walkRO is the read-only fast path of Walk: it iterates children in place
+// instead of copying them, so it allocates nothing. The visitor must not
+// mutate the tree. Every pure query helper (Find, FindAll, CountNodes,
+// CountElements, InnerText, AllText) runs on it; Walk keeps the
+// copy-per-level semantics for visitors that restructure while walking.
+func (n *Node) walkRO(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.walkRO(fn)
+	}
+}
+
 // WalkPost visits every descendant of n and then n itself (post-order).
 func (n *Node) WalkPost(fn func(*Node)) {
 	kids := make([]*Node, len(n.Children))
@@ -348,10 +362,10 @@ func (n *Node) WalkPost(fn func(*Node)) {
 }
 
 // Find returns the first node in document order (including n) satisfying
-// pred, or nil.
+// pred, or nil. pred must not mutate the tree.
 func (n *Node) Find(pred func(*Node) bool) *Node {
 	var found *Node
-	n.Walk(func(m *Node) bool {
+	n.walkRO(func(m *Node) bool {
 		if found != nil {
 			return false
 		}
@@ -364,16 +378,24 @@ func (n *Node) Find(pred func(*Node) bool) *Node {
 	return found
 }
 
-// FindAll returns every node in document order satisfying pred.
+// FindAll returns every node in document order satisfying pred. pred must
+// not mutate the tree.
 func (n *Node) FindAll(pred func(*Node) bool) []*Node {
-	var out []*Node
-	n.Walk(func(m *Node) bool {
+	return n.FindAllAppend(nil, pred)
+}
+
+// FindAllAppend appends every node in document order satisfying pred to
+// dst and returns the extended slice — the allocation-free variant of
+// FindAll for callers that recycle a scratch buffer. pred must not mutate
+// the tree.
+func (n *Node) FindAllAppend(dst []*Node, pred func(*Node) bool) []*Node {
+	n.walkRO(func(m *Node) bool {
 		if pred(m) {
-			out = append(out, m)
+			dst = append(dst, m)
 		}
 		return true
 	})
-	return out
+	return dst
 }
 
 // FindElement returns the first element with the given tag, or nil.
@@ -389,14 +411,14 @@ func (n *Node) FindElements(tag string) []*Node {
 // CountNodes returns the number of nodes in the subtree rooted at n.
 func (n *Node) CountNodes() int {
 	count := 0
-	n.Walk(func(*Node) bool { count++; return true })
+	n.walkRO(func(*Node) bool { count++; return true })
 	return count
 }
 
 // CountElements returns the number of element nodes in the subtree.
 func (n *Node) CountElements() int {
 	count := 0
-	n.Walk(func(m *Node) bool {
+	n.walkRO(func(m *Node) bool {
 		if m.Type == ElementNode {
 			count++
 		}
@@ -410,7 +432,7 @@ func (n *Node) CountElements() int {
 // trimmed.
 func (n *Node) InnerText() string {
 	var parts []string
-	n.Walk(func(m *Node) bool {
+	n.walkRO(func(m *Node) bool {
 		if m.Type == TextNode {
 			t := strings.TrimSpace(m.Text)
 			if t != "" {
@@ -426,7 +448,7 @@ func (n *Node) InnerText() string {
 // used by the no-information-loss invariant tests.
 func (n *Node) AllText() []string {
 	var parts []string
-	n.Walk(func(m *Node) bool {
+	n.walkRO(func(m *Node) bool {
 		if m.Type == TextNode {
 			if t := strings.TrimSpace(m.Text); t != "" {
 				parts = append(parts, t)

@@ -6,6 +6,7 @@
 package entity
 
 import (
+	"io"
 	"strings"
 	"unicode/utf8"
 )
@@ -161,42 +162,107 @@ func isAlnum(c byte) bool {
 	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
 }
 
+// Writer is the sink the zero-allocation escape path writes to; both
+// strings.Builder and bytes.Buffer satisfy it.
+type Writer interface {
+	io.Writer
+	WriteString(string) (int, error)
+}
+
+// textEscapes maps the bytes EscapeText replaces to their references.
+// Indexing by byte is safe in UTF-8: the escaped characters are ASCII and
+// never occur inside a multi-byte sequence.
+func textEscape(c byte) string {
+	switch c {
+	case '&':
+		return "&amp;"
+	case '<':
+		return "&lt;"
+	case '>':
+		return "&gt;"
+	}
+	return ""
+}
+
+func attrEscape(c byte) string {
+	switch c {
+	case '&':
+		return "&amp;"
+	case '<':
+		return "&lt;"
+	case '"':
+		return "&quot;"
+	case '\n':
+		return "&#10;"
+	case '\t':
+		return "&#9;"
+	}
+	return ""
+}
+
+// writeEscaped streams s to w, replacing bytes for which esc returns a
+// reference and copying the clean spans between them verbatim. Clean text —
+// the overwhelmingly common case for converted documents — is a single
+// WriteString with zero allocations. Invalid UTF-8 falls back to the
+// rune-wise path so malformed bytes keep collapsing to U+FFFD exactly as
+// the string-returning escapers always have.
+func writeEscaped(w Writer, s string, esc func(byte) string) {
+	if !utf8.ValidString(s) {
+		writeEscapedRunes(w, s, esc)
+		return
+	}
+	start := 0
+	for i := 0; i < len(s); i++ {
+		rep := esc(s[i])
+		if rep == "" {
+			continue
+		}
+		if start < i {
+			w.WriteString(s[start:i])
+		}
+		w.WriteString(rep)
+		start = i + 1
+	}
+	if start < len(s) {
+		w.WriteString(s[start:])
+	}
+}
+
+// writeEscapedRunes is the invalid-UTF-8 fallback of writeEscaped: ranging
+// over the string turns each malformed byte into U+FFFD, matching the
+// historical behaviour of EscapeText/EscapeAttr.
+func writeEscapedRunes(w Writer, s string, esc func(byte) string) {
+	var buf [utf8.UTFMax]byte
+	for _, r := range s {
+		if r < 0x80 {
+			if rep := esc(byte(r)); rep != "" {
+				w.WriteString(rep)
+				continue
+			}
+		}
+		n := utf8.EncodeRune(buf[:], r)
+		w.Write(buf[:n])
+	}
+}
+
+// WriteText streams s to w escaped as XML character data; the
+// allocation-free equivalent of w.WriteString(EscapeText(s)).
+func WriteText(w Writer, s string) { writeEscaped(w, s, textEscape) }
+
+// WriteAttr streams s to w escaped for a double-quoted XML attribute
+// value; the allocation-free equivalent of w.WriteString(EscapeAttr(s)).
+func WriteAttr(w Writer, s string) { writeEscaped(w, s, attrEscape) }
+
 // EscapeText escapes s for use as XML character data.
 func EscapeText(s string) string {
 	var b strings.Builder
-	for _, r := range s {
-		switch r {
-		case '&':
-			b.WriteString("&amp;")
-		case '<':
-			b.WriteString("&lt;")
-		case '>':
-			b.WriteString("&gt;")
-		default:
-			b.WriteRune(r)
-		}
-	}
+	WriteText(&b, s)
 	return b.String()
 }
 
 // EscapeAttr escapes s for use inside a double-quoted XML attribute value.
 func EscapeAttr(s string) string {
 	var b strings.Builder
-	for _, r := range s {
-		switch r {
-		case '&':
-			b.WriteString("&amp;")
-		case '<':
-			b.WriteString("&lt;")
-		case '"':
-			b.WriteString("&quot;")
-		case '\n':
-			b.WriteString("&#10;")
-		case '\t':
-			b.WriteString("&#9;")
-		default:
-			b.WriteRune(r)
-		}
-	}
+	WriteAttr(&b, s)
 	return b.String()
 }

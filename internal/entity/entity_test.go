@@ -139,3 +139,67 @@ func BenchmarkDecodeDense(b *testing.B) {
 		Decode(s)
 	}
 }
+
+// TestWriteTextMatchesEscapeText checks the streaming escapers against the
+// string-returning ones across clean text, text needing escapes, and
+// invalid UTF-8 (which must keep collapsing to U+FFFD).
+func TestWriteTextMatchesEscapeText(t *testing.T) {
+	cases := []string{
+		"", "plain text", `a<b>&"c"`, "&&&", "<", "end>",
+		"café résumé", "\xff<\xfe>", "mixed \xc3valid & bad",
+	}
+	for _, s := range cases {
+		var b strings.Builder
+		WriteText(&b, s)
+		if got, want := b.String(), EscapeText(s); got != want {
+			t.Errorf("WriteText(%q) = %q, want %q", s, got, want)
+		}
+		b.Reset()
+		WriteAttr(&b, s)
+		if got, want := b.String(), EscapeAttr(s); got != want {
+			t.Errorf("WriteAttr(%q) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestWriteTextInvalidUTF8 pins the lossy historical behaviour: malformed
+// bytes become U+FFFD, same as ranging over the string always did.
+func TestWriteTextInvalidUTF8(t *testing.T) {
+	var b strings.Builder
+	WriteText(&b, "a\xffb<c")
+	if got := b.String(); got != "a�b&lt;c" {
+		t.Fatalf("WriteText invalid UTF-8 = %q", got)
+	}
+}
+
+// TestWriteTextAllocs pins the zero-allocation escape path: streaming into
+// a pre-grown buffer must not allocate, clean or dirty.
+func TestWriteTextAllocs(t *testing.T) {
+	var b strings.Builder
+	b.Grow(1 << 12)
+	clean := strings.Repeat("clean resume text with no markup ", 8)
+	dirty := strings.Repeat("a<b & c>d ", 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		WriteText(&b, clean)
+		WriteText(&b, dirty)
+		WriteAttr(&b, dirty)
+		b.Reset()
+		b.Grow(1 << 12)
+	})
+	// Builder Grow after Reset reallocates its buffer once per run.
+	if allocs > 1 {
+		t.Errorf("WriteText/WriteAttr: %v allocs/run, want <= 1", allocs)
+	}
+}
+
+func BenchmarkWriteTextClean(b *testing.B) {
+	var sb strings.Builder
+	sb.Grow(1 << 12)
+	s := strings.Repeat("clean resume text with no markup ", 8)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		WriteText(&sb, s)
+	}
+}

@@ -115,6 +115,72 @@ type parser struct {
 	lim       Limits
 	nodes     int // nodes added to the tree so far
 	truncated bool
+
+	// Node and attribute arenas: nodes are handed out of chunk-allocated
+	// slabs, amortizing one heap allocation over arenaChunk nodes. The
+	// slabs are never recycled — the produced tree owns them for its
+	// lifetime — so this is batching, not pooling; see ARCHITECTURE.md,
+	// "Performance model".
+	nodeArena []dom.Node
+	attrArena []dom.Attr
+}
+
+// arenaChunk is the slab size of the parser's node and attribute arenas.
+const arenaChunk = 64
+
+// newNode hands out one zeroed node from the arena.
+func (p *parser) newNode() *dom.Node {
+	if len(p.nodeArena) == 0 {
+		p.nodeArena = make([]dom.Node, arenaChunk)
+	}
+	n := &p.nodeArena[0]
+	p.nodeArena = p.nodeArena[1:]
+	return n
+}
+
+func (p *parser) newElement(tag string) *dom.Node {
+	n := p.newNode()
+	n.Type = dom.ElementNode
+	n.Tag = tag
+	return n
+}
+
+func (p *parser) newText(text string) *dom.Node {
+	n := p.newNode()
+	n.Type = dom.TextNode
+	n.Text = text
+	return n
+}
+
+// setAttrs copies the token's attributes into an arena-backed slice on n,
+// preserving SetAttr semantics (a repeated name overwrites the earlier
+// value). The returned slice's capacity is clipped, so a later append
+// (e.g. the converter adding a val attribute) copies out of the slab
+// instead of stomping a neighbour.
+func (p *parser) setAttrs(n *dom.Node, attrs []Attribute) {
+	if len(attrs) == 0 {
+		return
+	}
+	if cap(p.attrArena)-len(p.attrArena) < len(attrs) {
+		size := arenaChunk
+		if len(attrs) > size {
+			size = len(attrs)
+		}
+		p.attrArena = make([]dom.Attr, 0, size)
+	}
+	start := len(p.attrArena)
+next:
+	for _, a := range attrs {
+		seg := p.attrArena[start:]
+		for i := range seg {
+			if seg[i].Name == a.Name {
+				seg[i].Value = a.Value
+				continue next
+			}
+		}
+		p.attrArena = append(p.attrArena, dom.Attr{Name: a.Name, Value: a.Value})
+	}
+	n.Attrs = p.attrArena[start:len(p.attrArena):len(p.attrArena)]
 }
 
 func (p *parser) top() *dom.Node { return p.stack[len(p.stack)-1] }
@@ -145,11 +211,17 @@ func (p *parser) process(tok Token) {
 		if tok.Data == "" {
 			return
 		}
-		p.append(dom.NewText(tok.Data))
+		p.append(p.newText(tok.Data))
 	case CommentToken:
-		p.append(dom.NewComment(tok.Data))
+		n := p.newNode()
+		n.Type = dom.CommentNode
+		n.Text = tok.Data
+		p.append(n)
 	case DoctypeToken:
-		p.append(&dom.Node{Type: dom.DoctypeNode, Text: tok.Data})
+		n := p.newNode()
+		n.Type = dom.DoctypeNode
+		n.Text = tok.Data
+		p.append(n)
 	case StartTagToken, SelfClosingTagToken:
 		p.startTag(tok)
 	case EndTagToken:
@@ -166,10 +238,8 @@ func (p *parser) startTag(tok Token) {
 		p.truncated = true
 		return
 	}
-	n := dom.NewElement(name)
-	for _, a := range tok.Attr {
-		n.SetAttr(a.Name, a.Value)
-	}
+	n := p.newElement(name)
+	p.setAttrs(n, tok.Attr)
 	if tok.Type == SelfClosingTagToken || voidElements[name] {
 		p.append(n)
 		return

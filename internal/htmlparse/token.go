@@ -210,7 +210,7 @@ func (z *Tokenizer) nextEndTag() Token {
 	for i < len(z.src) && isNameByte(z.src[i]) {
 		i++
 	}
-	name := strings.ToLower(z.src[start:i])
+	name := lowerName(z.src[start:i])
 	// Skip to '>'.
 	for i < len(z.src) && z.src[i] != '>' {
 		i++
@@ -232,7 +232,7 @@ func (z *Tokenizer) nextStartTag() Token {
 	for i < len(z.src) && isNameByte(z.src[i]) {
 		i++
 	}
-	name := strings.ToLower(z.src[start:i])
+	name := lowerName(z.src[start:i])
 	tok := Token{Type: StartTagToken, Data: name}
 	// Attributes.
 	for {
@@ -280,7 +280,7 @@ func parseAttr(s string, i int) (Attribute, int) {
 	for i < len(s) && !isSpace(s[i]) && s[i] != '=' && s[i] != '>' && s[i] != '/' {
 		i++
 	}
-	name := strings.ToLower(s[start:i])
+	name := lowerName(s[start:i])
 	for i < len(s) && isSpace(s[i]) {
 		i++
 	}
@@ -315,6 +315,68 @@ func parseAttr(s string, i int) (Attribute, int) {
 		val = s[vs:i]
 	}
 	return Attribute{Name: name, Value: entity.Decode(val)}, i
+}
+
+// nameIntern canonicalizes the tag and attribute names of the corpus era,
+// so tokenizing shouty markup (<TABLE BORDER=1>) reuses one shared string
+// per name instead of allocating a fresh lowercase copy per occurrence.
+var nameIntern = func() map[string]string {
+	names := []string{
+		"html", "head", "body", "title", "meta", "link", "base", "script",
+		"style", "h1", "h2", "h3", "h4", "h5", "h6", "p", "div", "span",
+		"a", "b", "i", "u", "em", "strong", "big", "small", "font",
+		"center", "blockquote", "pre", "br", "hr", "img", "ul", "ol", "li",
+		"dl", "dt", "dd", "dir", "menu", "table", "tr", "td", "th",
+		"thead", "tbody", "tfoot", "caption", "form", "input", "select",
+		"option", "textarea", "address", "xmp", "spacer",
+		// attribute names
+		"href", "src", "alt", "name", "id", "class", "width", "height",
+		"border", "align", "valign", "color", "size", "face", "bgcolor",
+		"cellpadding", "cellspacing", "colspan", "rowspan", "type",
+		"value", "val",
+	}
+	m := make(map[string]string, len(names))
+	for _, n := range names {
+		m[n] = n
+	}
+	return m
+}()
+
+// lowerName lowercases an ASCII tag or attribute name without allocating:
+// already-lowercase input is returned as-is (the overwhelmingly common
+// case), and uppercase spellings of known names resolve through the intern
+// table. Names with non-ASCII bytes defer to strings.ToLower for correct
+// Unicode case mapping.
+func lowerName(s string) string {
+	lower := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return strings.ToLower(s)
+		}
+		if c >= 'A' && c <= 'Z' {
+			lower = false
+		}
+	}
+	if lower {
+		return s
+	}
+	var buf [32]byte
+	if len(s) > len(buf) {
+		return strings.ToLower(s)
+	}
+	b := buf[:len(s)]
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[i] = c
+	}
+	if t, ok := nameIntern[string(b)]; ok {
+		return t
+	}
+	return string(b)
 }
 
 func isSpace(c byte) bool {

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Meta identifies the build that produced a metrics snapshot, so a
+// BENCH_*.json pulled from CI artifacts is traceable to a commit and
+// platform. Commit and Date come from git; the rest from the runtime.
+type Meta struct {
+	Commit    string `json:"commit,omitempty"`
+	Date      string `json:"date,omitempty"` // HEAD commit date, RFC 3339
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"goversion"`
+}
+
+// CollectMeta gathers snapshot provenance for the checkout at dir. The git
+// fields stay empty when dir is not a git work tree or git is unavailable;
+// the runtime fields are always populated.
+func CollectMeta(dir string) *Meta {
+	m := &Meta{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+	}
+	out, err := exec.Command("git", "-C", dir, "log", "-1", "--format=%H %cI").Output()
+	if err == nil {
+		if fields := strings.Fields(string(out)); len(fields) == 2 {
+			m.Commit, m.Date = fields[0], fields[1]
+		}
+	}
+	return m
+}

@@ -14,6 +14,7 @@ import (
 // machine-readable metrics format (BENCH_pipeline.json) and the source of
 // the human-readable stage summary.
 type Snapshot struct {
+	Meta     *Meta                 `json:"meta,omitempty"`
 	Stages   map[string]StageStats `json:"stages"`
 	Counters map[string]int64      `json:"counters"`
 	Gauges   map[string]int64      `json:"gauges,omitempty"`
@@ -75,7 +76,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 
 // Normalize returns a copy with every timing zeroed, keeping counts and
 // counters. Golden tests compare normalized snapshots: the event structure
-// is deterministic, wall-clock durations are not.
+// is deterministic, wall-clock durations and build metadata are not, so
+// Meta is dropped too.
 func (s *Snapshot) Normalize() *Snapshot {
 	out := &Snapshot{
 		Stages:   make(map[string]StageStats, len(s.Stages)),

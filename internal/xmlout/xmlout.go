@@ -5,22 +5,35 @@ package xmlout
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"webrev/internal/dom"
 	"webrev/internal/entity"
 )
 
+// bufPool recycles the serialization buffers behind Marshal and
+// MarshalCompact. The buffer is returned to the pool before the call
+// returns; callers only ever see the copied-out string, so no pooled
+// memory escapes. See ARCHITECTURE.md, "Performance model".
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const xmlHeader = `<?xml version="1.0" encoding="UTF-8"?>` + "\n"
+
 // Marshal renders the subtree rooted at n as indented XML, with a standard
 // declaration header when n is an element or document.
 func Marshal(n *dom.Node) string {
-	var b strings.Builder
-	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
-	writeNode(&b, n, 0, true)
-	return b.String()
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString(xmlHeader)
+	writeNode(b, n, 0, true)
+	s := b.String()
+	bufPool.Put(b)
+	return s
 }
 
 // MarshalTo streams the indented XML rendering of n to w — the
@@ -28,12 +41,14 @@ func Marshal(n *dom.Node) string {
 // reported once, after the final flush.
 func MarshalTo(w io.Writer, n *dom.Node) error {
 	bw := bufio.NewWriter(w)
-	bw.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	bw.WriteString(xmlHeader)
 	writeNode(bw, n, 0, true)
 	return bw.Flush()
 }
 
-// xmlWriter is satisfied by both strings.Builder and bufio.Writer.
+// xmlWriter is satisfied by strings.Builder, bytes.Buffer and bufio.Writer.
+// It is a superset of entity.Writer, so escape output streams straight into
+// the same sink.
 type xmlWriter interface {
 	io.Writer
 	WriteString(string) (int, error)
@@ -43,16 +58,29 @@ type xmlWriter interface {
 // MarshalCompact renders the subtree without the declaration, indentation or
 // newlines — the canonical single-line form used in tests.
 func MarshalCompact(n *dom.Node) string {
-	var b strings.Builder
-	writeNode(&b, n, 0, false)
-	return b.String()
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	writeNode(b, n, 0, false)
+	s := b.String()
+	bufPool.Put(b)
+	return s
+}
+
+// indentPad holds two-space indentation for the first maxPad depths; deeper
+// nodes fall back to writing it out level by level.
+const maxPad = 64
+
+var indentPad = strings.Repeat("  ", maxPad)
+
+func writePad(b xmlWriter, depth int) {
+	for depth > maxPad {
+		b.WriteString(indentPad)
+		depth -= maxPad
+	}
+	b.WriteString(indentPad[:2*depth])
 }
 
 func writeNode(b xmlWriter, n *dom.Node, depth int, indent bool) {
-	pad := ""
-	if indent {
-		pad = strings.Repeat("  ", depth)
-	}
 	switch n.Type {
 	case dom.DocumentNode:
 		for _, c := range n.Children {
@@ -61,35 +89,53 @@ func writeNode(b xmlWriter, n *dom.Node, depth int, indent bool) {
 		return
 	case dom.TextNode:
 		if t := strings.TrimSpace(n.Text); t != "" {
-			b.WriteString(pad)
-			b.WriteString(entity.EscapeText(t))
+			if indent {
+				writePad(b, depth)
+			}
+			entity.WriteText(b, t)
 			if indent {
 				b.WriteByte('\n')
 			}
 		}
 		return
 	case dom.CommentNode:
-		b.WriteString(pad)
+		if indent {
+			writePad(b, depth)
+		}
 		b.WriteString("<!--")
-		b.WriteString(strings.ReplaceAll(n.Text, "--", "- -"))
+		if strings.Contains(n.Text, "--") {
+			b.WriteString(strings.ReplaceAll(n.Text, "--", "- -"))
+		} else {
+			b.WriteString(n.Text)
+		}
 		b.WriteString("-->")
 		if indent {
 			b.WriteByte('\n')
 		}
 		return
 	case dom.DoctypeNode:
-		b.WriteString(pad)
-		fmt.Fprintf(b, "<!DOCTYPE %s>", n.Text)
+		if indent {
+			writePad(b, depth)
+		}
+		b.WriteString("<!DOCTYPE ")
+		b.WriteString(n.Text)
+		b.WriteByte('>')
 		if indent {
 			b.WriteByte('\n')
 		}
 		return
 	}
-	b.WriteString(pad)
+	if indent {
+		writePad(b, depth)
+	}
 	b.WriteByte('<')
 	b.WriteString(n.Tag)
 	for _, a := range n.Attrs {
-		fmt.Fprintf(b, ` %s="%s"`, a.Name, entity.EscapeAttr(a.Value))
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		entity.WriteAttr(b, a.Value)
+		b.WriteByte('"')
 	}
 	if len(n.Children) == 0 {
 		b.WriteString("/>")
@@ -105,8 +151,12 @@ func writeNode(b xmlWriter, n *dom.Node, depth int, indent bool) {
 	for _, c := range n.Children {
 		writeNode(b, c, depth+1, indent)
 	}
-	b.WriteString(pad)
-	fmt.Fprintf(b, "</%s>", n.Tag)
+	if indent {
+		writePad(b, depth)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Tag)
+	b.WriteByte('>')
 	if indent {
 		b.WriteByte('\n')
 	}

@@ -157,3 +157,17 @@ func TestMarshalToMatchesMarshal(t *testing.T) {
 		t.Fatalf("MarshalTo differs:\n%s\n---\n%s", buf.String(), Marshal(n))
 	}
 }
+
+// TestMarshalAllocs pins the pooled-buffer serialization path: once the
+// pool is warm, marshalling allocates only the returned string (plus
+// occasional pool churn under GC pressure).
+func TestMarshalAllocs(t *testing.T) {
+	n := sample()
+	Marshal(n) // warm the pool
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = Marshal(n)
+	})
+	if allocs > 2 {
+		t.Errorf("Marshal: %v allocs/run, want <= 2", allocs)
+	}
+}
