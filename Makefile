@@ -8,11 +8,14 @@ GO ?= go
 # Per-target budget for `make fuzz` (and the fuzz leg of `make check`).
 FUZZTIME ?= 5s
 
-.PHONY: build test vet race fuzz bench bench-convert bench-stream-short \
-	docs-lint chaos coverage check ci-test ci-race-chaos ci-fuzz-docs
+.PHONY: build test vet race fuzz bench bench-convert bench-serve \
+	bench-stream-short docs-lint chaos coverage check ci-test \
+	ci-race-chaos ci-fuzz-docs
 
-# Packages whose statement coverage is gated in CI (the convert hot path).
-COVER_PKGS = webrev/internal/bayes webrev/internal/convert webrev/internal/xmlout
+# Packages whose statement coverage is gated in CI (the convert hot path
+# plus the query/serving read path).
+COVER_PKGS = webrev/internal/bayes webrev/internal/convert webrev/internal/xmlout \
+	webrev/internal/query webrev/internal/pathindex
 # Floor enforced by `make coverage` / the CI coverage job.
 COVER_FLOOR ?= 70
 
@@ -43,6 +46,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzHTMLParse -fuzztime $(FUZZTIME) ./internal/htmlparse/
 	$(GO) test -run '^$$' -fuzz FuzzTidy -fuzztime $(FUZZTIME) ./internal/tidy/
 	$(GO) test -run '^$$' -fuzz FuzzConvert -fuzztime $(FUZZTIME) ./internal/convert/
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/query/
 
 # E1-E5 micro/macro benchmarks plus metrics snapshots of the full batch
 # pipeline (experiment E8 -> BENCH_pipeline.json) and the streaming
@@ -61,6 +65,15 @@ bench-convert:
 	$(GO) test -run '^$$' -bench $(CONVERT_BENCH) -benchmem -count 3 ./... \
 		| tee /tmp/bench_convert.txt
 	$(GO) run ./cmd/benchdiff -parse -out BENCH_convert.json /tmp/bench_convert.txt
+
+# Serving-latency snapshot: webrevd's load-test harness drives 64
+# concurrent clients against a corpus-built repository with background
+# snapshot swaps, and writes the p50/p90/p99/mean/throughput percentiles
+# as BENCH_serve.json (same file shape as bench-convert, so cmd/benchdiff
+# compares it directly).
+bench-serve:
+	$(GO) run ./cmd/webrevd -corpus 200 -seed 1 -bench \
+		-clients 64 -duration 3s -swap-every 500ms -out BENCH_serve.json
 
 # Statement-coverage gate over the hot-path packages. Writes cover.out
 # (published as a CI artifact) and fails below COVER_FLOOR percent.

@@ -29,20 +29,13 @@ import (
 )
 
 // Result is the parsed measurement of one benchmark (best run across
-// repeats).
-type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	MBPerS      float64 `json:"mb_per_s,omitempty"`
-	Iterations  int64   `json:"iterations,omitempty"`
-}
-
-// File is the on-disk shape of a parsed benchmark run.
-type File struct {
-	Meta       *obs.Meta         `json:"meta,omitempty"`
-	Benchmarks map[string]Result `json:"benchmarks"`
-}
+// repeats); File is the on-disk shape of a parsed run. Both are the shared
+// obs forms, so other producers (webrevd's bench mode) write files this
+// command's compare mode gates.
+type (
+	Result = obs.BenchResult
+	File   = obs.BenchFile
+)
 
 func main() {
 	var (
@@ -167,27 +160,15 @@ func parseLine(line string) (string, Result, bool) {
 	return name, res, seen
 }
 
-func readFile(path string) (*File, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &f, nil
-}
-
 // runCompare prints a per-benchmark delta table and reports whether any
 // matched benchmark regressed beyond the threshold. Benchmarks present in
 // only one file are listed but never gate.
 func runCompare(oldPath, newPath string, threshold float64, match string) (bool, error) {
-	oldF, err := readFile(oldPath)
+	oldF, err := obs.ReadBenchFile(oldPath)
 	if err != nil {
 		return false, err
 	}
-	newF, err := readFile(newPath)
+	newF, err := obs.ReadBenchFile(newPath)
 	if err != nil {
 		return false, err
 	}

@@ -244,12 +244,7 @@ func cmdBuild(args []string, w io.Writer) error {
 	if *out == "" {
 		return finish()
 	}
-	stored := repository.New(repo.DTD)
-	for i, c := range repo.Conformed {
-		if err := stored.Add(repo.Docs[i].Source, c); err != nil {
-			return err
-		}
-	}
+	stored := repo.Export()
 	if err := stored.Save(*out); err != nil {
 		return err
 	}

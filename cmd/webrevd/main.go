@@ -1,0 +1,203 @@
+// Command webrevd serves a webrev repository over HTTP: label-path
+// queries, concept/instance lookups, document retrieval, and schema/DTD
+// inspection, answered lock-free from an immutable snapshot that POST
+// /api/reload swaps atomically under live traffic.
+//
+// Serve a checkpointed repository (written by `webrev build -out DIR`):
+//
+//	webrevd -repo DIR [-addr :8077]
+//
+// Or build one in-process from the synthetic corpus:
+//
+//	webrevd -corpus 200 [-seed 1]
+//
+// Bench mode stands the same server up on a loopback port, drives a mixed
+// workload with -clients concurrent clients (swapping snapshots mid-load
+// when -swap-every is set), and writes latency percentiles as a
+// BENCH_serve.json that cmd/benchdiff gates:
+//
+//	webrevd -corpus 200 -bench -clients 64 -duration 3s -swap-every 500ms -out BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"webrev/internal/concept"
+	"webrev/internal/core"
+	"webrev/internal/corpus"
+	"webrev/internal/obs"
+	"webrev/internal/repository"
+	"webrev/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "webrevd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("webrevd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8077", "listen address")
+		repoDir    = fs.String("repo", "", "serve the repository checkpointed in this directory")
+		corpusN    = fs.Int("corpus", 0, "build and serve a repository from this many generated resumes")
+		seed       = fs.Int64("seed", 1, "corpus generator seed")
+		sup        = fs.Float64("sup", 0.5, "schema support threshold for -corpus builds")
+		ratio      = fs.Float64("ratio", 0.1, "support-ratio threshold for -corpus builds")
+		maxResults = fs.Int("max-results", 1000, "cap on results rendered per query request")
+
+		bench     = fs.Bool("bench", false, "run the load-test harness instead of serving")
+		clients   = fs.Int("clients", 64, "concurrent clients in bench mode")
+		duration  = fs.Duration("duration", 3*time.Second, "bench run length")
+		swapEvery = fs.Duration("swap-every", 500*time.Millisecond, "bench: swap snapshots at this interval (0 disables)")
+		workload  = fs.Int("workload", 16, "bench: distinct query paths sampled into the workload")
+		out       = fs.String("out", "BENCH_serve.json", "bench: output file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*repoDir == "") == (*corpusN == 0) {
+		return fmt.Errorf("exactly one of -repo or -corpus is required")
+	}
+
+	load := repoSource(*repoDir, *corpusN, *seed, *sup, *ratio)
+	repo, err := load()
+	if err != nil {
+		return err
+	}
+
+	coll := obs.NewCollector()
+	srv := serve.NewServer(repo, serve.Options{
+		Tracer:     coll,
+		MaxResults: *maxResults,
+		Reload:     load,
+	})
+	obs.RegisterDebug(srv.Mux(), coll)
+
+	if *bench {
+		return runBench(w, srv, load, benchConfig{
+			clients:   *clients,
+			duration:  *duration,
+			swapEvery: *swapEvery,
+			workload:  *workload,
+			out:       *out,
+		})
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "webrevd: serving %d documents, %d paths on %s (gen %d)\n",
+		srv.Snapshot().Docs(), len(srv.Snapshot().Frozen().Paths()), ln.Addr(), srv.Snapshot().Gen())
+	return http.Serve(ln, srv.Handler())
+}
+
+// repoSource returns the loader the server boots from and /api/reload
+// re-invokes: a checkpoint directory read, or a full corpus pipeline run.
+func repoSource(dir string, n int, seed int64, sup, ratio float64) func() (*repository.Repository, error) {
+	if dir != "" {
+		return func() (*repository.Repository, error) {
+			return repository.Load(dir)
+		}
+	}
+	return func() (*repository.Repository, error) {
+		p, err := core.New(core.Config{
+			Concepts:       concept.ResumeConcepts(),
+			Constraints:    concept.ResumeConstraints(),
+			RootName:       "resume",
+			SupThreshold:   sup,
+			RatioThreshold: ratio,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resumes := corpus.New(corpus.Options{Seed: seed}).Corpus(n)
+		srcs := make([]core.Source, len(resumes))
+		for i, r := range resumes {
+			srcs[i] = core.Source{Name: r.Name, HTML: r.HTML}
+		}
+		return p.BuildRepository(srcs)
+	}
+}
+
+type benchConfig struct {
+	clients   int
+	duration  time.Duration
+	swapEvery time.Duration
+	workload  int
+	out       string
+}
+
+// runBench serves on a loopback port, drives the load harness against it,
+// and writes the percentiles in the shared BENCH_*.json shape so the CI
+// bench-regression job diffs serving latency like any other benchmark.
+func runBench(w io.Writer, srv *serve.Server, load func() (*repository.Repository, error), cfg benchConfig) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	opts := serve.LoadOptions{
+		Clients:  cfg.clients,
+		Duration: cfg.duration,
+		Workload: srv.DefaultWorkload(cfg.workload),
+	}
+	if cfg.swapEvery > 0 {
+		opts.SwapEvery = cfg.swapEvery
+		opts.SwapRepo = func() *repository.Repository {
+			repo, err := load()
+			if err != nil {
+				panic(fmt.Sprintf("bench swap reload: %v", err))
+			}
+			return repo
+		}
+	}
+	res, err := serve.LoadTest(srv, "http://"+ln.Addr().String(), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "webrevd bench: %s\n", res)
+	if res.Errors > 0 {
+		return fmt.Errorf("bench: %d of %d requests failed", res.Errors, res.Requests)
+	}
+
+	// Latencies land as ns_per_op under benchmark-style names; the
+	// throughput entry is mean inter-arrival time (1e9/rps), so lower is
+	// better for every entry and benchdiff's ns/op gate applies uniformly.
+	file := &obs.BenchFile{
+		Meta: obs.CollectMeta("."),
+		Benchmarks: map[string]obs.BenchResult{
+			"ServeMixed/p50":        {NsPerOp: float64(res.P50.Nanoseconds()), Iterations: res.Requests},
+			"ServeMixed/p90":        {NsPerOp: float64(res.P90.Nanoseconds()), Iterations: res.Requests},
+			"ServeMixed/p99":        {NsPerOp: float64(res.P99.Nanoseconds()), Iterations: res.Requests},
+			"ServeMixed/mean":       {NsPerOp: float64(res.Mean.Nanoseconds()), Iterations: res.Requests},
+			"ServeMixed/throughput": {NsPerOp: 1e9 / res.Throughput, Iterations: res.Requests},
+		},
+	}
+	if cfg.out == "" || cfg.out == "-" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(data))
+		return nil
+	}
+	if err := file.WriteFile(cfg.out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (clients=%d duration=%s swaps=%d)\n", cfg.out, res.Clients, res.Duration.Round(time.Millisecond), res.Swaps)
+	return nil
+}

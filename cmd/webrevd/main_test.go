@@ -1,0 +1,74 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"webrev/internal/obs"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
+		t.Fatal("no source flags accepted")
+	}
+	if err := run([]string{"-repo", "x", "-corpus", "10"}, io.Discard); err == nil {
+		t.Fatal("both -repo and -corpus accepted")
+	}
+	if err := run([]string{"-badflag"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestBenchFromCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	err := run([]string{
+		"-corpus", "20", "-bench",
+		"-clients", "4", "-duration", "300ms", "-swap-every", "100ms",
+		"-out", out,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := obs.ReadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"ServeMixed/p50", "ServeMixed/p90", "ServeMixed/p99",
+		"ServeMixed/mean", "ServeMixed/throughput",
+	} {
+		res, ok := f.Benchmarks[name]
+		if !ok || res.NsPerOp <= 0 || res.Iterations == 0 {
+			t.Errorf("benchmark %s missing or empty: %+v", name, res)
+		}
+	}
+	if f.Meta == nil || f.Meta.GoVersion == "" {
+		t.Errorf("meta not stamped: %+v", f.Meta)
+	}
+}
+
+func TestRepoSourceCheckpointRoundTrip(t *testing.T) {
+	build := repoSource("", 12, 7, 0.5, 0.1)
+	repo, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() == 0 {
+		t.Fatal("corpus build produced empty repository")
+	}
+	dir := t.TempDir()
+	if err := repo.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := repoSource(dir, 0, 0, 0, 0)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != repo.Len() {
+		t.Fatalf("checkpoint round trip: %d docs, want %d", loaded.Len(), repo.Len())
+	}
+}

@@ -385,6 +385,24 @@ type Repository struct {
 	TotalInput int
 }
 
+// Export stores the build's conformed documents in a queryable,
+// persistable repository.Repository governed by the derived DTD — the
+// snapshot form webrevd serves and Save/Load persist. Documents the fault
+// boundary quarantined are absent; a degraded document whose
+// identity-mapped tree still fails DTD validation is skipped rather than
+// failing the export.
+func (r *Repository) Export() *repository.Repository {
+	repo := repository.New(r.DTD)
+	for i, c := range r.Conformed {
+		if err := repo.Add(r.Docs[i].Source, c); err != nil {
+			// Only degraded (identity-mapped) documents can still violate
+			// the DTD here; keep the export and drop the invalid document.
+			continue
+		}
+	}
+	return repo
+}
+
 // FailureRatio returns the fraction of input documents the build
 // quarantined; 0 for an empty build.
 func (r *Repository) FailureRatio() float64 {
@@ -650,13 +668,5 @@ func (p *Pipeline) BuildRepositoryContext(ctx context.Context, sources []Source)
 	if err != nil {
 		return nil, err
 	}
-	repo := repository.New(built.DTD)
-	for i, c := range built.Conformed {
-		if err := repo.Add(built.Docs[i].Source, c); err != nil {
-			// Only degraded (identity-mapped) documents can still violate
-			// the DTD here; keep the build and drop the invalid document.
-			continue
-		}
-	}
-	return repo, nil
+	return built.Export(), nil
 }

@@ -29,10 +29,12 @@ type Cache[V any] struct {
 }
 
 type shard[V any] struct {
-	mu   sync.Mutex
-	m    map[string]int // key -> slot index
-	slot []entry[V]     // fixed-size ring of entries
-	hand int            // CLOCK hand
+	mu     sync.Mutex
+	m      map[string]int // key -> slot index
+	slot   []entry[V]     // fixed-size ring of entries
+	hand   int            // CLOCK hand
+	hits   uint64
+	misses uint64
 }
 
 type entry[V any] struct {
@@ -79,10 +81,12 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	s.mu.Lock()
 	i, ok := s.m[key]
 	if !ok {
+		s.misses++
 		s.mu.Unlock()
 		var zero V
 		return zero, false
 	}
+	s.hits++
 	s.slot[i].used = true
 	v := s.slot[i].val
 	s.mu.Unlock()
@@ -122,6 +126,43 @@ func (c *Cache[V]) Add(key string, val V) {
 		s.mu.Unlock()
 		return
 	}
+}
+
+// Stats is a point-in-time aggregate of a cache's effectiveness — the
+// numbers webrevd's /api/stats endpoint and the serve counters report.
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any Get.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats aggregates hit/miss counts and the live entry count across all
+// shards. A nil cache reports zeros. Counts are maintained under the
+// per-shard lock the hot path already takes, so tracking costs nothing
+// extra in synchronization.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // Len returns the number of live entries across all shards.

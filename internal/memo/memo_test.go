@@ -108,3 +108,28 @@ func BenchmarkGetHit(b *testing.B) {
 		c.Get("university of california at davis")
 	}
 }
+
+func TestStats(t *testing.T) {
+	c := New[int](64)
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+	c.Add("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 2 hits, 1 miss, 1 entry", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %f", got)
+	}
+	var nilCache *Cache[int]
+	if st := nilCache.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("zero stats hit rate should be 0")
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchResult is one benchmark measurement in a BENCH_*.json snapshot:
+// the best (minimum ns/op) run across repeats when parsed from `go test
+// -bench` output, or a directly measured statistic (webrevd's load-test
+// percentiles land here as ns_per_op, so cmd/benchdiff's compare mode
+// gates them like any other latency).
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	Iterations  int64   `json:"iterations,omitempty"`
+}
+
+// BenchFile is the on-disk shape of every committed BENCH_*.json: build
+// provenance plus named measurements. cmd/benchdiff produces and compares
+// this form; webrevd's bench mode writes it directly.
+type BenchFile struct {
+	Meta       *Meta                  `json:"meta,omitempty"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// WriteFile writes the snapshot as indented JSON to path.
+func (f *BenchFile) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchFile loads a BENCH_*.json snapshot.
+func ReadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

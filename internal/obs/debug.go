@@ -51,20 +51,18 @@ func (d *DebugServer) Close() error {
 	return nil
 }
 
-// ServeDebug starts an HTTP debug endpoint on addr (":0" picks a free
-// port) serving, on its own mux so it composes with any application
-// server:
+// RegisterDebug mounts the debug surface on an existing mux:
 //
 //	/debug/vars         expvar JSON, including the published collector
 //	/debug/pprof/...    the standard pprof profiles
 //	/metrics            the collector's snapshot (the WriteJSON format)
 //	/metrics/summary    the human-readable stage summary
 //
-// The collector is also published as the expvar "webrev". Callers own the
-// returned server and should Close it when done.
-func ServeDebug(addr string, c *Collector) (*DebugServer, error) {
+// The collector is also published as the expvar "webrev". ServeDebug uses
+// it with a private mux; webrevd mounts the same surface next to its API
+// routes so one listener serves both.
+func RegisterDebug(mux *http.ServeMux, c *Collector) {
 	c.PublishExpvar("webrev")
-	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -79,6 +77,15 @@ func ServeDebug(addr string, c *Collector) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(c.Snapshot().Summary()))
 	})
+}
+
+// ServeDebug starts an HTTP debug endpoint on addr (":0" picks a free
+// port) serving the RegisterDebug surface on its own mux, so it composes
+// with any application server. Callers own the returned server and should
+// Close it when done.
+func ServeDebug(addr string, c *Collector) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, c)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

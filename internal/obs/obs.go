@@ -61,6 +61,12 @@ const (
 	// StageCheckpoint times each snapshot of the streaming build's
 	// accumulator state to the checkpoint directory.
 	StageCheckpoint = "checkpoint.write"
+	// StageServe times one served repository request in webrevd (all
+	// endpoints; the serve counters below split the traffic).
+	StageServe = "serve.request"
+	// StageServeSwap times building and atomically installing a new
+	// serving snapshot (internal/serve.Server.Swap).
+	StageServeSwap = "serve.swap"
 )
 
 // PipelineStages lists the stages a full Build exercises, in order.
@@ -93,6 +99,13 @@ const (
 	CtrCrawlSkipped   = "crawl.skipped"
 	CtrCrawlTruncated = "crawl.truncated"
 	CtrCrawlBytes     = "crawl.bytes"
+	// Serving-layer counters (webrevd / internal/serve).
+	CtrServeRequests    = "serve.requests"     // requests served, all endpoints
+	CtrServeErrors      = "serve.errors"       // requests answered with a 4xx/5xx
+	CtrServeQueries     = "serve.queries"      // label-path query evaluations
+	CtrServeResultHits  = "serve.result.hits"  // query responses served from the result cache
+	CtrServeCompileHits = "serve.compile.hits" // queries served a cached compilation
+	CtrServeSwaps       = "serve.swaps"        // serving snapshots installed (initial load included)
 )
 
 // Canonical gauge names. Gauges record point-in-time levels (Set), not

@@ -27,6 +27,7 @@ type Index struct {
 	docs    int
 	byPath  map[string][]Ref
 	byLabel map[string]map[string]bool // last label -> set of full paths
+	docFreq map[string]int             // path -> distinct containing documents
 }
 
 // Build indexes the given document trees. Only element nodes participate.
@@ -39,7 +40,28 @@ func Build(docs []*dom.Node) *Index {
 	for i, d := range docs {
 		ix.addTree(i, d, "", 0)
 	}
+	// Precompute document frequencies: refs for a path are appended in
+	// non-decreasing document order, so distinct documents are the
+	// transitions — one pass here replaces a map allocation per
+	// DocFrequency call.
+	ix.docFreq = make(map[string]int, len(ix.byPath))
+	for p, refs := range ix.byPath {
+		ix.docFreq[p] = countDocs(refs)
+	}
 	return ix
+}
+
+// countDocs counts distinct Doc values in refs, which are sorted by Doc
+// (indexing appends documents in order).
+func countDocs(refs []Ref) int {
+	n, last := 0, -1
+	for _, r := range refs {
+		if r.Doc != last {
+			n++
+			last = r.Doc
+		}
+	}
+	return n
 }
 
 func (ix *Index) addTree(doc int, n *dom.Node, prefix string, pos int) {
@@ -97,13 +119,10 @@ func (ix *Index) PathsEndingIn(label string) []string {
 }
 
 // DocFrequency returns the number of distinct documents containing the
-// path — the support numerator of §3.2 served from the index.
+// path — the support numerator of §3.2 served from the index. Frequencies
+// are precomputed at Build; a call allocates nothing.
 func (ix *Index) DocFrequency(path string) int {
-	seen := make(map[int]bool)
-	for _, r := range ix.byPath[path] {
-		seen[r.Doc] = true
-	}
-	return len(seen)
+	return ix.docFreq[path]
 }
 
 // AvgPosition returns the mean child position of the path's occurrences —

@@ -1,0 +1,67 @@
+package query
+
+import (
+	"testing"
+
+	"webrev/internal/dom"
+	"webrev/internal/pathindex"
+)
+
+// FuzzCompile feeds arbitrary expressions through Compile and, for the
+// ones that compile, checks the engine's internal invariants: evaluation
+// never panics, Count agrees with Evaluate, and the compiled form
+// round-trips (String() recompiles to the same shape). Run in the fuzz CI
+// lane next to the parser and converter targets.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"/resume/education/institution",
+		"//institution",
+		"/resume//date",
+		"/resume/*/degree",
+		"//*",
+		`//degree[@val="B.S."]`,
+		`//institution[@val~"Davis"]`,
+		`//v[@val="\"quoted\""]`,
+		`//v[@val="a\\b"]`,
+		"", "/", "//", "/a[", "/a[]", "/a[@val=", `/a[@val="]`,
+		"/a//", "///", "/a[@val~\"x\"", "[@val=\"x\"]",
+	} {
+		f.Add(seed)
+	}
+	ix := pathindex.Build([]*dom.Node{
+		dom.Elem("resume", nil,
+			dom.Elem("education", nil,
+				dom.Elem("institution", []string{"val", `"UC" Davis`}),
+				dom.Elem("degree", []string{"val", "B.S."}),
+			),
+			dom.Elem("date", []string{"val", "1996"}),
+		),
+	})
+	frozen := ix.Freeze()
+	f.Fuzz(func(t *testing.T, expr string) {
+		q, err := Compile(expr)
+		if err != nil {
+			return
+		}
+		if len(q.Steps) == 0 {
+			t.Fatalf("Compile(%q) succeeded with zero steps", expr)
+		}
+		refs := q.Evaluate(ix)
+		if n := q.Count(ix); n != len(refs) {
+			t.Fatalf("Count(%q) = %d, Evaluate found %d", expr, n, len(refs))
+		}
+		// The frozen index must agree with the mutable one.
+		if n := q.Count(frozen); n != len(refs) {
+			t.Fatalf("frozen Count(%q) = %d, mutable found %d", expr, n, len(refs))
+		}
+		// String() preserves the source; it must recompile to the same
+		// shape.
+		q2, err := Compile(q.String())
+		if err != nil {
+			t.Fatalf("recompile of %q failed: %v", q.String(), err)
+		}
+		if len(q2.Steps) != len(q.Steps) || (q2.Pred == nil) != (q.Pred == nil) {
+			t.Fatalf("recompile of %q changed shape", expr)
+		}
+	})
+}

@@ -2,7 +2,8 @@
 // repository — the retrieval capability the paper's introduction motivates
 // ("querying Web based data in a way more efficient and effective than just
 // keyword based retrieval"). Queries are evaluated against the path index
-// of internal/pathindex.
+// of internal/pathindex, either the mutable build-time Index or the frozen
+// read-only form webrevd serves from.
 //
 // Syntax (a practical XPath subset over label paths and val attributes):
 //
@@ -10,10 +11,13 @@
 //	//institution                          descendant step (any depth)
 //	/resume//date                          mixed
 //	/resume/*/degree                       single-step wildcard
+//	//*                                    every element
 //	//institution[@val~"Davis"]            val contains
 //	//degree[@val="B.S."]                  val equals
+//	//degree[@val="\"B.S.\""]              escaped quotes inside values
 //
-// Predicates apply to the final step.
+// Predicates apply to the final step. Predicate values must be balanced
+// double-quoted strings; `\"` and `\\` are the only escapes.
 package query
 
 import (
@@ -45,6 +49,20 @@ type Query struct {
 
 // String returns the original query text.
 func (q *Query) String() string { return q.src }
+
+// Index is the read-side of a path index, the surface Evaluate, Each and
+// Count need. Both *pathindex.Index and *pathindex.Frozen satisfy it, so
+// queries run unchanged against a build-time index or a serving snapshot.
+type Index interface {
+	// Paths returns every indexed label path, sorted.
+	Paths() []string
+	// PathsEndingIn returns the indexed paths whose final label is label,
+	// sorted.
+	PathsEndingIn(label string) []string
+	// Lookup returns all occurrences of the exact label path in indexing
+	// order.
+	Lookup(path string) []pathindex.Ref
+}
 
 // Compile parses a query expression.
 func Compile(src string) (*Query, error) {
@@ -90,9 +108,6 @@ func Compile(src string) (*Query, error) {
 		if label == "" {
 			return nil, fmt.Errorf("query: empty step in %q", src)
 		}
-		if label == "*" && desc {
-			return nil, fmt.Errorf("query: //* is not supported")
-		}
 		q.Steps = append(q.Steps, Step{Label: label, Descendant: desc})
 	}
 	if len(q.Steps) == 0 {
@@ -103,58 +118,111 @@ func Compile(src string) (*Query, error) {
 
 func parsePredicate(s string) (*Predicate, error) {
 	s = strings.TrimSpace(s)
-	for _, op := range []struct {
-		sep      string
-		contains bool
-	}{{"~", true}, {"=", false}} {
-		prefix := "@val" + op.sep
-		if strings.HasPrefix(s, prefix) {
-			v := strings.TrimPrefix(s, prefix)
-			v = strings.Trim(v, `"`)
-			return &Predicate{Contains: op.contains, Value: v}, nil
+	var contains bool
+	var lit string
+	switch {
+	case strings.HasPrefix(s, "@val~"):
+		contains, lit = true, s[len("@val~"):]
+	case strings.HasPrefix(s, "@val="):
+		contains, lit = false, s[len("@val="):]
+	default:
+		return nil, fmt.Errorf("query: unsupported predicate [%s]", s)
+	}
+	v, err := unquote(lit)
+	if err != nil {
+		return nil, fmt.Errorf("query: predicate [%s]: %w", s, err)
+	}
+	return &Predicate{Contains: contains, Value: v}, nil
+}
+
+// unquote parses a balanced double-quoted string literal, decoding the two
+// supported escapes `\"` and `\\`. Unquoted, half-quoted or trailing text
+// is an error — silently trimming quotes corrupted values that legitimately
+// begin or end with one (e.g. @val="\"B.S.\"").
+func unquote(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' {
+		return "", fmt.Errorf("value must be a double-quoted string")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); {
+		switch c := s[i]; c {
+		case '"':
+			if i != len(s)-1 {
+				return "", fmt.Errorf("unexpected text after closing quote")
+			}
+			return b.String(), nil
+		case '\\':
+			i++
+			if i >= len(s) || (s[i] != '"' && s[i] != '\\') {
+				return "", fmt.Errorf(`unsupported escape (only \" and \\)`)
+			}
+			b.WriteByte(s[i])
+			i++
+		default:
+			b.WriteByte(c)
+			i++
 		}
 	}
-	return nil, fmt.Errorf("query: unsupported predicate [%s]", s)
+	return "", fmt.Errorf("unterminated string value")
 }
 
 // matchPath reports whether a Sep-joined label path satisfies the steps.
+// The first step is anchored at the path's root: /a/b matches only paths
+// whose first label is a, while //b may match at any depth.
 func (q *Query) matchPath(path string) bool {
-	labels := schema.Split(path)
-	return matchSteps(q.Steps, labels, true)
+	return matchSteps(q.Steps, path)
 }
 
-// matchSteps matches steps against labels. atRoot requires the first
-// non-descendant step to match the first label.
-func matchSteps(steps []Step, labels []string, atRoot bool) bool {
+// matchSteps matches steps against the remainder of a Sep-joined label
+// path ("" means no labels left). A child step consumes exactly the next
+// label; a descendant step tries every suffix. Matching walks the string
+// directly — no per-call label slice — so evaluation and counting stay
+// allocation-free.
+func matchSteps(steps []Step, path string) bool {
 	if len(steps) == 0 {
-		return len(labels) == 0
+		return path == ""
 	}
 	st := steps[0]
 	if st.Descendant {
-		// Skip 0..n labels before matching (descendant-or-deeper: // means
-		// any depth ≥ 1 below the current point; at the very start //x also
-		// matches a root named x).
-		for i := 0; i < len(labels); i++ {
-			if stepMatches(st, labels[i]) && matchSteps(steps[1:], labels[i+1:], false) {
+		// Try each label as the step's match (descendant-or-deeper: //
+		// means any depth ≥ 1 below the current point; at the very start
+		// //x also matches a root named x).
+		for rest := path; rest != ""; {
+			label, tail := nextLabel(rest)
+			if stepMatches(st, label) && matchSteps(steps[1:], tail) {
 				return true
 			}
+			rest = tail
 		}
 		return false
 	}
-	if len(labels) == 0 || !stepMatches(st, labels[0]) {
+	if path == "" {
 		return false
 	}
-	return matchSteps(steps[1:], labels[1:], false)
+	label, tail := nextLabel(path)
+	if !stepMatches(st, label) {
+		return false
+	}
+	return matchSteps(steps[1:], tail)
+}
+
+// nextLabel splits the first label off a Sep-joined path.
+func nextLabel(path string) (label, rest string) {
+	if i := strings.Index(path, schema.Sep); i >= 0 {
+		return path[:i], path[i+len(schema.Sep):]
+	}
+	return path, ""
 }
 
 func stepMatches(st Step, label string) bool {
 	return st.Label == "*" || st.Label == label
 }
 
-// Evaluate runs the query against an index and returns the matching node
-// references in index order.
-func (q *Query) Evaluate(ix *pathindex.Index) []pathindex.Ref {
-	var out []pathindex.Ref
+// Each streams every match to fn in index order (candidate paths sorted,
+// then occurrences in indexing order) without materializing a result
+// slice. fn returning false stops the walk early — the limit/early-exit
+// path of webrevd's query endpoint.
+func (q *Query) Each(ix Index, fn func(path string, ref pathindex.Ref) bool) {
 	// Candidate paths: when the final step is a concrete label, only paths
 	// ending in it can match; otherwise scan all.
 	last := q.Steps[len(q.Steps)-1]
@@ -169,11 +237,24 @@ func (q *Query) Evaluate(ix *pathindex.Index) []pathindex.Ref {
 			continue
 		}
 		for _, ref := range ix.Lookup(p) {
-			if q.Pred == nil || q.predMatches(ref) {
-				out = append(out, ref)
+			if q.Pred != nil && !q.predMatches(ref) {
+				continue
+			}
+			if !fn(p, ref) {
+				return
 			}
 		}
 	}
+}
+
+// Evaluate runs the query against an index and returns the matching node
+// references in index order.
+func (q *Query) Evaluate(ix Index) []pathindex.Ref {
+	var out []pathindex.Ref
+	q.Each(ix, func(_ string, ref pathindex.Ref) bool {
+		out = append(out, ref)
+		return true
+	})
 	return out
 }
 
@@ -185,7 +266,14 @@ func (q *Query) predMatches(ref pathindex.Ref) bool {
 	return val == q.Pred.Value
 }
 
-// Count returns the number of matches without materializing them all.
-func (q *Query) Count(ix *pathindex.Index) int {
-	return len(q.Evaluate(ix))
+// Count returns the number of matches without materializing them: it walks
+// the same candidate paths as Evaluate but only increments a counter, so
+// counting a million-match query allocates nothing.
+func (q *Query) Count(ix Index) int {
+	n := 0
+	q.Each(ix, func(string, pathindex.Ref) bool {
+		n++
+		return true
+	})
+	return n
 }

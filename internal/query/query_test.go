@@ -8,6 +8,7 @@ import (
 
 	"webrev/internal/dom"
 	"webrev/internal/pathindex"
+	"webrev/internal/schema"
 )
 
 func el(tag string, children ...*dom.Node) *dom.Node {
@@ -44,7 +45,7 @@ func index() *pathindex.Index {
 
 func TestCompileErrors(t *testing.T) {
 	bad := []string{
-		"", "resume", "/", "//", "/resume/", "/resume//", "//*",
+		"", "resume", "/", "//", "/resume/", "/resume//",
 		"/a[@val~\"x\"", "/a[zzz]", "/a[val=\"x\"]",
 	}
 	for _, q := range bad {
@@ -164,7 +165,7 @@ func naiveEvaluate(q *Query, docs []*dom.Node) int {
 			return
 		}
 		path = append(path, n.Tag)
-		if matchSteps(q.Steps, path, true) {
+		if matchSteps(q.Steps, schema.Join(path)) {
 			if q.Pred == nil {
 				count++
 			} else {
@@ -191,7 +192,7 @@ func TestPropertyIndexMatchesNaiveWalk(t *testing.T) {
 	exprs := []string{
 		"/resume", "//degree", "/resume/education", "/resume//date",
 		"/resume/*/degree", "//institution", `//degree[@val="x"]`,
-		`//date[@val~"19"]`,
+		`//date[@val~"19"]`, "//*", "/resume//*", "//education//*",
 	}
 	f := func(seed int64, size uint8) bool {
 		r := rand.New(rand.NewSource(seed))

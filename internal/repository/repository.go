@@ -77,6 +77,16 @@ func (r *Repository) Query(expr string) ([]pathindex.Ref, error) {
 	return q.Evaluate(r.Index()), nil
 }
 
+// Count compiles expr and returns the number of matches without
+// materializing them (query.Query.Count streams through the index).
+func (r *Repository) Count(expr string) (int, error) {
+	q, err := query.Compile(expr)
+	if err != nil {
+		return 0, err
+	}
+	return q.Count(r.Index()), nil
+}
+
 const (
 	dtdFile      = "schema.dtd"
 	manifestFile = "manifest.txt"

@@ -94,6 +94,31 @@ func TestQuery(t *testing.T) {
 	}
 }
 
+func TestCount(t *testing.T) {
+	r := New(testDTD(t))
+	for _, v := range []string{"alpha", "beta", "gamma"} {
+		if err := r.Add(v, conformingDoc(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for expr, want := range map[string]int{
+		"/resume/education/institution": 3,
+		`//institution[@val~"beta"]`:    1,
+		"//nope":                        0,
+	} {
+		got, err := r.Count(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Count(%s) = %d, want %d", expr, got, want)
+		}
+	}
+	if _, err := r.Count("not a query"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
 func TestIndexInvalidatedByAdd(t *testing.T) {
 	r := New(testDTD(t))
 	r.Add("a", conformingDoc("a"))

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webrev/internal/repository"
+)
+
+// LoadOptions parameterizes LoadTest. The zero value runs 64 clients for
+// three seconds against a default mixed workload with no background swaps.
+type LoadOptions struct {
+	// Clients is the number of concurrent request loops (default 64).
+	Clients int
+	// Duration is the wall-clock run time (default 3s).
+	Duration time.Duration
+	// Workload is the list of request paths (with query strings) cycled by
+	// each client; empty means every client hits /healthz only. Build a
+	// realistic one with Server.DefaultWorkload.
+	Workload []string
+	// SwapEvery, when nonzero, triggers a background snapshot swap at this
+	// interval for the run's duration — the mid-load swap the serving
+	// design promises is loss-free. Requires SwapRepo.
+	SwapEvery time.Duration
+	// SwapRepo produces the repository for each background swap.
+	SwapRepo func() *repository.Repository
+}
+
+// LoadResult is the outcome of one LoadTest run. Latencies cover every
+// completed request, successful or not; Errors counts transport failures
+// and non-2xx statuses.
+type LoadResult struct {
+	Clients    int
+	Requests   int64
+	Errors     int64
+	Swaps      int64
+	Duration   time.Duration
+	Throughput float64 // requests per second
+	Mean       time.Duration
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+}
+
+func (r *LoadResult) String() string {
+	return fmt.Sprintf("clients=%d requests=%d errors=%d swaps=%d rps=%.0f p50=%v p90=%v p99=%v max=%v",
+		r.Clients, r.Requests, r.Errors, r.Swaps, r.Throughput, r.P50, r.P90, r.P99, r.Max)
+}
+
+// DefaultWorkload derives a mixed request workload from the current
+// snapshot: anchored and descendant path queries, counts, concept lookups,
+// document and schema fetches — roughly the read mix a repository browser
+// generates. n bounds how many distinct query paths are sampled.
+func (s *Server) DefaultWorkload(n int) []string {
+	ix := s.cur.Load()
+	paths := ix.frozen.Paths()
+	if n <= 0 || n > len(paths) {
+		n = len(paths)
+	}
+	var w []string
+	for _, p := range paths[:n] {
+		// Sep is "/", so an indexed path prefixed with "/" is already a
+		// valid anchored expression.
+		w = append(w,
+			"/api/query?q="+url.QueryEscape("/"+p),
+			"/api/count?q="+url.QueryEscape("/"+p))
+		if i := lastSlash(p); i >= 0 {
+			label := p[i+1:]
+			w = append(w,
+				"/api/query?q="+url.QueryEscape("//"+label)+"&limit=25",
+				"/api/concept?name="+url.QueryEscape(label))
+		}
+	}
+	w = append(w, "/api/paths", "/api/docs", "/api/dtd", "/api/stats", "/healthz")
+	if len(ix.names) > 0 {
+		w = append(w, "/api/doc?i=0", "/api/doc?name="+url.QueryEscape(ix.names[0]))
+	}
+	return w
+}
+
+func lastSlash(p string) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// LoadTest drives opts.Clients concurrent clients against a running server
+// at baseURL until opts.Duration elapses, optionally swapping snapshots in
+// the background, and reports latency percentiles and throughput.
+//
+// The server being exercised is the real HTTP stack (typically an
+// httptest.Server or a live webrevd); LoadTest is the harness behind both
+// `webrevd -bench` and the serve package's race tests.
+func LoadTest(s *Server, baseURL string, opts LoadOptions) (*LoadResult, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 64
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 3 * time.Second
+	}
+	if len(opts.Workload) == 0 {
+		opts.Workload = []string{"/healthz"}
+	}
+	if opts.SwapEvery > 0 && opts.SwapRepo == nil {
+		return nil, fmt.Errorf("serve: SwapEvery set without SwapRepo")
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opts.Clients * 2,
+		MaxIdleConnsPerHost: opts.Clients * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	deadline := time.Now().Add(opts.Duration)
+	stop := make(chan struct{})
+	var swaps int64
+	var swapWG sync.WaitGroup
+	if opts.SwapEvery > 0 {
+		swapWG.Add(1)
+		go func() {
+			defer swapWG.Done()
+			tick := time.NewTicker(opts.SwapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					s.Swap(opts.SwapRepo())
+					atomic.AddInt64(&swaps, 1)
+				}
+			}
+		}()
+	}
+
+	lats := make([][]time.Duration, opts.Clients)
+	var errs int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 1024)
+			for i := c; time.Now().Before(deadline); i++ {
+				target := baseURL + opts.Workload[i%len(opts.Workload)]
+				t0 := time.Now()
+				ok := doRequest(client, target)
+				local = append(local, time.Since(t0))
+				if !ok {
+					atomic.AddInt64(&errs, 1)
+				}
+			}
+			lats[c] = local
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	swapWG.Wait()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("serve: load test completed zero requests")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	res := &LoadResult{
+		Clients:    opts.Clients,
+		Requests:   int64(len(all)),
+		Errors:     errs,
+		Swaps:      atomic.LoadInt64(&swaps),
+		Duration:   elapsed,
+		Throughput: float64(len(all)) / elapsed.Seconds(),
+		Mean:       sum / time.Duration(len(all)),
+		P50:        percentile(all, 0.50),
+		P90:        percentile(all, 0.90),
+		P99:        percentile(all, 0.99),
+		Max:        all[len(all)-1],
+	}
+	return res, nil
+}
+
+func doRequest(client *http.Client, target string) bool {
+	resp, err := client.Get(target)
+	if err != nil {
+		return false
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return err == nil && resp.StatusCode < 300
+}
+
+// percentile returns the p-quantile of sorted durations by nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

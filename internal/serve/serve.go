@@ -1,0 +1,559 @@
+// Package serve implements webrevd's serving layer: an immutable,
+// read-optimized snapshot of an XML repository (Index) behind an
+// atomic.Pointer swap, so heavy concurrent read traffic never takes a lock
+// and a background rebuild or reload replaces the whole dataset without
+// dropping a request — the bayes.Frozen pattern applied to the repository
+// itself.
+//
+// Every request loads the current snapshot once and answers entirely from
+// it; a swap installs the next snapshot for subsequent requests while
+// in-flight ones finish on the old generation. Two caches cut repeated
+// work: a compiled-query cache on the Server (query compilation is
+// data-independent, so it survives swaps) and a rendered-response cache on
+// each Index (results depend on the data, so the cache dies with its
+// snapshot — swap is the invalidation).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"webrev/internal/memo"
+	"webrev/internal/obs"
+	"webrev/internal/pathindex"
+	"webrev/internal/query"
+	"webrev/internal/repository"
+	"webrev/internal/xmlout"
+)
+
+// Index is one immutable serving snapshot: the repository's documents and
+// DTD, the frozen path index, and this generation's rendered-response
+// cache. All fields are read-only after construction; any number of
+// requests may share an Index without synchronization.
+type Index struct {
+	gen     uint64
+	repo    *repository.Repository
+	names   []string
+	byName  map[string]int
+	frozen  *pathindex.Frozen
+	dtdText string
+	results *memo.Cache[[]byte] // rendered query responses; dies with the snapshot
+}
+
+// Gen returns the snapshot's generation number (1 for the initial load,
+// incremented by every swap).
+func (ix *Index) Gen() uint64 { return ix.gen }
+
+// Docs returns the number of documents in the snapshot.
+func (ix *Index) Docs() int { return len(ix.names) }
+
+// Frozen returns the snapshot's read-only path index.
+func (ix *Index) Frozen() *pathindex.Frozen { return ix.frozen }
+
+func newIndex(gen uint64, repo *repository.Repository, resultCap int) *Index {
+	names := repo.Names()
+	byName := make(map[string]int, len(names))
+	for i, n := range names {
+		byName[n] = i
+	}
+	return &Index{
+		gen:     gen,
+		repo:    repo,
+		names:   names,
+		byName:  byName,
+		frozen:  repo.Index().Freeze(),
+		dtdText: repo.DTD().Render(),
+		results: memo.New[[]byte](resultCap),
+	}
+}
+
+// Options parameterizes NewServer. The zero value serves with defaults.
+type Options struct {
+	// Tracer records serve-stage spans and counters; nil means the no-op
+	// tracer.
+	Tracer obs.Tracer
+	// QueryCacheSize bounds the compiled-query cache (default 1024; the
+	// cache survives snapshot swaps).
+	QueryCacheSize int
+	// ResultCacheSize bounds each snapshot's rendered-response cache
+	// (default 4096; invalidated wholesale by a swap).
+	ResultCacheSize int
+	// MaxResults caps the matches rendered for one query request; Count
+	// remains exact beyond it (default 1000).
+	MaxResults int
+	// Reload, when set, backs POST /api/reload: it produces the next
+	// repository (reloading a directory, rebuilding a corpus) and the
+	// server swaps to it atomically.
+	Reload func() (*repository.Repository, error)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.QueryCacheSize == 0 {
+		out.QueryCacheSize = 1024
+	}
+	if out.ResultCacheSize == 0 {
+		out.ResultCacheSize = 4096
+	}
+	if out.MaxResults <= 0 {
+		out.MaxResults = 1000
+	}
+	return out
+}
+
+// Server answers repository queries over HTTP from the current snapshot.
+// Create with NewServer; swap in new data with Swap or Reload. Server is
+// safe for concurrent use — the handlers are read-only against whichever
+// snapshot they load first.
+type Server struct {
+	cur     atomic.Pointer[Index]
+	gen     atomic.Uint64
+	queries *memo.Cache[*query.Query]
+	tr      obs.Tracer
+	opts    Options
+	mux     *http.ServeMux
+
+	reloadMu sync.Mutex // serializes Reload; Swap itself is lock-free
+
+	// Serving totals, mirrored to the tracer's counters when one is
+	// attached; kept as atomics so /api/stats never needs the collector.
+	requests    atomic.Int64
+	errors      atomic.Int64
+	queryEvals  atomic.Int64
+	resultHits  atomic.Int64
+	compileHits atomic.Int64
+	swaps       atomic.Int64
+}
+
+// NewServer builds a server over the initial repository snapshot.
+func NewServer(repo *repository.Repository, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		queries: memo.New[*query.Query](opts.QueryCacheSize),
+		tr:      obs.OrNop(opts.Tracer),
+		opts:    opts,
+	}
+	s.install(repo)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.wrap(s.handleHealthz))
+	s.mux.HandleFunc("/api/query", s.wrap(s.handleQuery))
+	s.mux.HandleFunc("/api/count", s.wrap(s.handleCount))
+	s.mux.HandleFunc("/api/paths", s.wrap(s.handlePaths))
+	s.mux.HandleFunc("/api/docs", s.wrap(s.handleDocs))
+	s.mux.HandleFunc("/api/doc", s.wrap(s.handleDoc))
+	s.mux.HandleFunc("/api/dtd", s.wrap(s.handleDTD))
+	s.mux.HandleFunc("/api/concept", s.wrap(s.handleConcept))
+	s.mux.HandleFunc("/api/stats", s.wrap(s.handleStats))
+	s.mux.HandleFunc("/api/reload", s.wrap(s.handleReload))
+	return s
+}
+
+// install builds the next-generation snapshot and publishes it.
+func (s *Server) install(repo *repository.Repository) uint64 {
+	gen := s.gen.Add(1)
+	ix := newIndex(gen, repo, s.opts.ResultCacheSize)
+	s.cur.Store(ix)
+	s.swaps.Add(1)
+	if s.tr.Enabled() {
+		s.tr.Add(obs.CtrServeSwaps, 1)
+	}
+	return gen
+}
+
+// Swap atomically replaces the serving snapshot with one built from repo
+// and returns the new generation. Readers in flight keep the snapshot they
+// started with; no request is blocked or dropped.
+func (s *Server) Swap(repo *repository.Repository) uint64 {
+	sp := s.tr.StartSpan(obs.StageServeSwap)
+	defer sp.End()
+	return s.install(repo)
+}
+
+// Reload produces the next repository via Options.Reload and swaps to it.
+// Concurrent reloads are serialized; reads are never blocked.
+func (s *Server) Reload() (uint64, error) {
+	if s.opts.Reload == nil {
+		return 0, fmt.Errorf("serve: no reload source configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	repo, err := s.opts.Reload()
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
+	return s.Swap(repo), nil
+}
+
+// Snapshot returns the current serving snapshot.
+func (s *Server) Snapshot() *Index { return s.cur.Load() }
+
+// Handler returns the HTTP surface: the /api routes plus /healthz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Mux exposes the underlying mux so callers can mount extra routes (the
+// obs debug surface) on the same listener.
+func (s *Server) Mux() *http.ServeMux { return s.mux }
+
+// wrap is the per-request envelope: span, request counter, and the error
+// counter fed by httpError via the response wrapper.
+func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := s.tr.StartSpan(obs.StageServe)
+		s.requests.Add(1)
+		if s.tr.Enabled() {
+			s.tr.Add(obs.CtrServeRequests, 1)
+		}
+		h(w, r)
+		sp.End()
+	}
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	if s.tr.Enabled() {
+		s.tr.Add(obs.CtrServeErrors, 1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// compile returns the compiled form of expr, consulting the
+// swap-surviving query cache.
+func (s *Server) compile(expr string) (*query.Query, error) {
+	if q, ok := s.queries.Get(expr); ok {
+		s.compileHits.Add(1)
+		if s.tr.Enabled() {
+			s.tr.Add(obs.CtrServeCompileHits, 1)
+		}
+		return q, nil
+	}
+	q, err := query.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.queries.Add(strings.Clone(expr), q)
+	return q, nil
+}
+
+// Match is one rendered query result.
+type Match struct {
+	Doc  string `json:"doc"`
+	Path string `json:"path"`
+	Val  string `json:"val,omitempty"`
+	Pos  int    `json:"pos"`
+}
+
+// QueryResponse is the /api/query payload.
+type QueryResponse struct {
+	Query     string  `json:"query"`
+	Gen       uint64  `json:"gen"`
+	Total     int     `json:"total"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Results   []Match `json:"results"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		s.httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	limit := s.opts.MaxResults
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			s.httpError(w, http.StatusBadRequest, "bad limit %q", l)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	ix := s.cur.Load()
+	key := "q\x00" + expr + "\x00" + strconv.Itoa(limit)
+	if body, ok := ix.results.Get(key); ok {
+		s.resultHits.Add(1)
+		if s.tr.Enabled() {
+			s.tr.Add(obs.CtrServeResultHits, 1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	q, err := s.compile(expr)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.countQueryEval()
+	resp := QueryResponse{Query: expr, Gen: ix.gen, Results: []Match{}}
+	q.Each(ix.frozen, func(path string, ref pathindex.Ref) bool {
+		if len(resp.Results) >= limit {
+			resp.Truncated = true
+			return false
+		}
+		resp.Results = append(resp.Results, Match{
+			Doc:  ix.names[ref.Doc],
+			Path: path,
+			Val:  ref.Node.Val(),
+			Pos:  ref.Pos,
+		})
+		return true
+	})
+	if resp.Truncated {
+		// The counting path is allocation-free, so an exact total stays
+		// cheap even when rendering is capped.
+		resp.Total = q.Count(ix.frozen)
+	} else {
+		resp.Total = len(resp.Results)
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	body = append(body, '\n')
+	ix.results.Add(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) countQueryEval() {
+	s.queryEvals.Add(1)
+	if s.tr.Enabled() {
+		s.tr.Add(obs.CtrServeQueries, 1)
+	}
+}
+
+// CountResponse is the /api/count payload.
+type CountResponse struct {
+	Query string `json:"query"`
+	Gen   uint64 `json:"gen"`
+	Count int    `json:"count"`
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		s.httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	q, err := s.compile(expr)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ix := s.cur.Load()
+	s.countQueryEval()
+	// Query.Count never materializes the matches — the endpoint stays
+	// allocation-free however many nodes the expression touches.
+	writeJSON(w, CountResponse{Query: expr, Gen: ix.gen, Count: q.Count(ix.frozen)})
+}
+
+// PathInfo is one row of the /api/paths payload.
+type PathInfo struct {
+	Path        string  `json:"path"`
+	Docs        int     `json:"docs"`
+	Occurrences int     `json:"occurrences"`
+	AvgPosition float64 `json:"avg_position"`
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, _ *http.Request) {
+	ix := s.cur.Load()
+	paths := ix.frozen.Paths()
+	out := make([]PathInfo, 0, len(paths))
+	for _, p := range paths {
+		avg, _ := ix.frozen.AvgPosition(p)
+		out = append(out, PathInfo{
+			Path:        p,
+			Docs:        ix.frozen.DocFrequency(p),
+			Occurrences: len(ix.frozen.Lookup(p)),
+			AvgPosition: avg,
+		})
+	}
+	writeJSON(w, map[string]any{"gen": ix.gen, "paths": out})
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, _ *http.Request) {
+	ix := s.cur.Load()
+	writeJSON(w, map[string]any{"gen": ix.gen, "count": len(ix.names), "names": ix.names})
+}
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	ix := s.cur.Load()
+	var i int
+	switch {
+	case r.URL.Query().Get("name") != "":
+		name := r.URL.Query().Get("name")
+		idx, ok := ix.byName[name]
+		if !ok {
+			s.httpError(w, http.StatusNotFound, "no document named %q", name)
+			return
+		}
+		i = idx
+	case r.URL.Query().Get("i") != "":
+		n, err := strconv.Atoi(r.URL.Query().Get("i"))
+		if err != nil || n < 0 || n >= len(ix.names) {
+			s.httpError(w, http.StatusNotFound, "document index out of range")
+			return
+		}
+		i = n
+	default:
+		s.httpError(w, http.StatusBadRequest, "missing name or i parameter")
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("X-Webrev-Doc", ix.names[i])
+	fmt.Fprint(w, xmlout.Marshal(ix.repo.Doc(i)))
+}
+
+func (s *Server) handleDTD(w http.ResponseWriter, _ *http.Request) {
+	ix := s.cur.Load()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, ix.dtdText)
+}
+
+// Instance is one distinct value of a concept in the /api/concept payload.
+type Instance struct {
+	Value string `json:"value"`
+	Count int    `json:"count"`
+	Docs  int    `json:"docs"`
+}
+
+// ConceptResponse is the /api/concept payload: the concept/instance view
+// of the repository (paper §2's concept vocabulary served back).
+type ConceptResponse struct {
+	Concept   string     `json:"concept"`
+	Gen       uint64     `json:"gen"`
+	Total     int        `json:"total"`
+	Instances []Instance `json:"instances"`
+}
+
+func (s *Server) handleConcept(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" || strings.ContainsAny(name, "/[]* \t") {
+		s.httpError(w, http.StatusBadRequest, "missing or malformed concept name")
+		return
+	}
+	expr := "//" + name
+	if val := r.URL.Query().Get("val"); val != "" {
+		op := "="
+		if r.URL.Query().Get("contains") != "" {
+			op = "~"
+		}
+		expr += "[@val" + op + quoteValue(val) + "]"
+	}
+	q, err := s.compile(expr)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ix := s.cur.Load()
+	s.countQueryEval()
+	type agg struct {
+		count int
+		// Distinct docs need a set: a concept can live under several
+		// label paths, so refs are not globally doc-ordered.
+		docs map[int]struct{}
+	}
+	byVal := make(map[string]*agg)
+	order := []string{}
+	total := 0
+	q.Each(ix.frozen, func(_ string, ref pathindex.Ref) bool {
+		total++
+		v := ref.Node.Val()
+		a := byVal[v]
+		if a == nil {
+			a = &agg{docs: make(map[int]struct{}, 1)}
+			byVal[v] = a
+			order = append(order, v)
+		}
+		a.count++
+		a.docs[ref.Doc] = struct{}{}
+		return true
+	})
+	sort.Strings(order)
+	resp := ConceptResponse{Concept: name, Gen: ix.gen, Total: total, Instances: []Instance{}}
+	for _, v := range order {
+		if len(resp.Instances) >= s.opts.MaxResults {
+			break
+		}
+		a := byVal[v]
+		resp.Instances = append(resp.Instances, Instance{Value: v, Count: a.count, Docs: len(a.docs)})
+	}
+	writeJSON(w, resp)
+}
+
+// quoteValue renders v as a query-language string literal.
+func quoteValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return `"` + v + `"`
+}
+
+// Stats is the /api/stats payload.
+type Stats struct {
+	Gen         uint64     `json:"gen"`
+	Docs        int        `json:"docs"`
+	Paths       int        `json:"paths"`
+	Requests    int64      `json:"requests"`
+	Errors      int64      `json:"errors"`
+	QueryEvals  int64      `json:"query_evals"`
+	ResultHits  int64      `json:"result_cache_hits"`
+	CompileHits int64      `json:"compile_cache_hits"`
+	Swaps       int64      `json:"swaps"`
+	QueryCache  memo.Stats `json:"query_cache"`
+	ResultCache memo.Stats `json:"result_cache"`
+}
+
+// Stats returns the server's current serving totals.
+func (s *Server) Stats() Stats {
+	ix := s.cur.Load()
+	return Stats{
+		Gen:         ix.gen,
+		Docs:        len(ix.names),
+		Paths:       len(ix.frozen.Paths()),
+		Requests:    s.requests.Load(),
+		Errors:      s.errors.Load(),
+		QueryEvals:  s.queryEvals.Load(),
+		ResultHits:  s.resultHits.Load(),
+		CompileHits: s.compileHits.Load(),
+		Swaps:       s.swaps.Load(),
+		QueryCache:  s.queries.Stats(),
+		ResultCache: ix.results.Stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	ix := s.cur.Load()
+	writeJSON(w, map[string]any{"status": "ok", "gen": ix.gen, "docs": len(ix.names)})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "reload requires POST")
+		return
+	}
+	gen, err := s.Reload()
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"status": "reloaded", "gen": gen})
+}
