@@ -8,16 +8,23 @@ GO ?= go
 # Per-target budget for `make fuzz` (and the fuzz leg of `make check`).
 FUZZTIME ?= 5s
 
-.PHONY: build test vet race fuzz bench bench-convert bench-serve \
+.PHONY: build test vet race fuzz bench bench-convert bench-map bench-serve \
 	bench-stream-short docs-lint chaos coverage check ci-test \
 	ci-race-chaos ci-fuzz-docs
 
 # Packages whose statement coverage is gated in CI (the convert hot path
-# plus the query/serving read path).
+# plus the query/serving read path and the discover->mine->map stages).
 COVER_PKGS = webrev/internal/bayes webrev/internal/convert webrev/internal/xmlout \
-	webrev/internal/query webrev/internal/pathindex
-# Floor enforced by `make coverage` / the CI coverage job.
+	webrev/internal/query webrev/internal/pathindex \
+	webrev/internal/discover webrev/internal/schema webrev/internal/mapping
+# Floor enforced by `make coverage` / the CI coverage job. The
+# discover/mine/map packages carry a higher floor (pkg=floor form,
+# understood by cmd/covercheck): their correctness rests on equivalence
+# proofs, so untested branches there are a determinism risk.
 COVER_FLOOR ?= 70
+COVER_ARGS = webrev/internal/bayes webrev/internal/convert webrev/internal/xmlout \
+	webrev/internal/query webrev/internal/pathindex \
+	webrev/internal/discover=85 webrev/internal/schema=85 webrev/internal/mapping=85
 
 # Benchmarks gating the CI bench-regression job: the per-document convert
 # hot path (tokenize, classify, concept matching, parse, serialize) plus
@@ -40,13 +47,17 @@ race:
 	$(GO) test -race ./...
 
 # Native fuzz targets: the parser, the cleaner and the full converter must
-# accept arbitrary bytes without panicking. Go allows one -fuzz target per
+# accept arbitrary bytes without panicking; the tree-edit-distance memo and
+# the parallel path miner must additionally stay equivalent to their naive
+# and serial references on arbitrary inputs. Go allows one -fuzz target per
 # invocation, so each gets its own short run.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzHTMLParse -fuzztime $(FUZZTIME) ./internal/htmlparse/
 	$(GO) test -run '^$$' -fuzz FuzzTidy -fuzztime $(FUZZTIME) ./internal/tidy/
 	$(GO) test -run '^$$' -fuzz FuzzConvert -fuzztime $(FUZZTIME) ./internal/convert/
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/query/
+	$(GO) test -run '^$$' -fuzz FuzzTreeDistance -fuzztime $(FUZZTIME) ./internal/mapping/
+	$(GO) test -run '^$$' -fuzz FuzzMinePaths -fuzztime $(FUZZTIME) ./internal/schema/
 
 # E1-E5 micro/macro benchmarks plus metrics snapshots of the full batch
 # pipeline (experiment E8 -> BENCH_pipeline.json) and the streaming
@@ -66,6 +77,16 @@ bench-convert:
 		| tee /tmp/bench_convert.txt
 	$(GO) run ./cmd/benchdiff -parse -out BENCH_convert.json /tmp/bench_convert.txt
 
+# Mapping/mining hot-path snapshot: the memoized tree-edit distance, the
+# compiled conformance pass, and the sharded path miner. Written as
+# BENCH_map.json (same benchdiff shape as BENCH_convert.json) and gated in
+# the CI bench-regression job at the 15% threshold.
+MAP_BENCH = 'BenchmarkTreeDistance|BenchmarkConform|BenchmarkDiscover|BenchmarkMineParallel'
+bench-map:
+	$(GO) test -run '^$$' -bench $(MAP_BENCH) -benchmem -count 3 \
+		./internal/mapping/ ./internal/schema/ | tee /tmp/bench_map.txt
+	$(GO) run ./cmd/benchdiff -parse -out BENCH_map.json /tmp/bench_map.txt
+
 # Serving-latency snapshot: webrevd's load-test harness drives 64
 # concurrent clients against a corpus-built repository with background
 # snapshot swaps, and writes the p50/p90/p99/mean/throughput percentiles
@@ -79,7 +100,7 @@ bench-serve:
 # (published as a CI artifact) and fails below COVER_FLOOR percent.
 coverage:
 	$(GO) test -coverprofile cover.out -covermode atomic $(addprefix ./,$(subst webrev/,,$(COVER_PKGS)))
-	$(GO) run ./cmd/covercheck -profile cover.out -floor $(COVER_FLOOR) $(COVER_PKGS)
+	$(GO) run ./cmd/covercheck -profile cover.out -floor $(COVER_FLOOR) $(COVER_ARGS)
 
 # One iteration of the batch-vs-streaming build benchmarks over a small
 # corpus: proves the streaming path still runs end to end without paying

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	covercheck -profile cover.out -floor 70 webrev/internal/bayes webrev/internal/convert
+//	covercheck -profile cover.out -floor 70 webrev/internal/bayes webrev/internal/mapping=85
 //
 // Each package argument is matched against the directory of the files in
-// the profile. Exit status 1 when any listed package is under the floor.
+// the profile. A package may carry its own floor with the pkg=floor form,
+// overriding -floor — how CI holds the discover/mine/map packages to a
+// higher bar than the default. Exit status 1 when any listed package is
+// under its floor.
 package main
 
 import (
@@ -40,7 +44,12 @@ func main() {
 		os.Exit(2)
 	}
 	failed := false
-	for _, pkg := range pkgs {
+	for _, arg := range pkgs {
+		pkg, pkgFloor, err := parsePkgArg(arg, *floor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covercheck:", err)
+			os.Exit(2)
+		}
 		blocks, ok := cov[pkg]
 		if !ok {
 			fmt.Printf("%-32s no profile data  FAIL\n", pkg)
@@ -59,16 +68,30 @@ func main() {
 			pct = float64(covered) / float64(total) * 100
 		}
 		status := "ok"
-		if pct < *floor {
+		if pct < pkgFloor {
 			status = "FAIL"
 			failed = true
 		}
 		fmt.Printf("%-32s %6.1f%% (%d/%d stmts, floor %.0f%%)  %s\n",
-			pkg, pct, covered, total, *floor, status)
+			pkg, pct, covered, total, pkgFloor, status)
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// parsePkgArg splits an optional "pkg=floor" argument, falling back to the
+// global floor for bare package paths.
+func parsePkgArg(arg string, def float64) (pkg string, floor float64, err error) {
+	eq := strings.LastIndexByte(arg, '=')
+	if eq < 0 {
+		return arg, def, nil
+	}
+	f, err := strconv.ParseFloat(arg[eq+1:], 64)
+	if err != nil || arg[:eq] == "" {
+		return "", 0, fmt.Errorf("bad package argument %q (want pkg or pkg=floor)", arg)
+	}
+	return arg[:eq], f, nil
 }
 
 // readProfile parses a coverprofile into per-package block maps keyed by

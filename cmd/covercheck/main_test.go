@@ -46,3 +46,35 @@ func TestReadProfile(t *testing.T) {
 		t.Errorf("xmlout blocks = %d, want 1", len(xml))
 	}
 }
+
+func TestParsePkgArg(t *testing.T) {
+	cases := []struct {
+		arg     string
+		pkg     string
+		floor   float64
+		wantErr bool
+	}{
+		{arg: "webrev/internal/bayes", pkg: "webrev/internal/bayes", floor: 70},
+		{arg: "webrev/internal/mapping=85", pkg: "webrev/internal/mapping", floor: 85},
+		{arg: "webrev/internal/schema=92.5", pkg: "webrev/internal/schema", floor: 92.5},
+		{arg: "pkg=", wantErr: true},
+		{arg: "=85", wantErr: true},
+		{arg: "pkg=abc", wantErr: true},
+	}
+	for _, c := range cases {
+		pkg, floor, err := parsePkgArg(c.arg, 70)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parsePkgArg(%q): expected error, got %q/%v", c.arg, pkg, floor)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parsePkgArg(%q): %v", c.arg, err)
+			continue
+		}
+		if pkg != c.pkg || floor != c.floor {
+			t.Errorf("parsePkgArg(%q) = %q, %v; want %q, %v", c.arg, pkg, floor, c.pkg, c.floor)
+		}
+	}
+}

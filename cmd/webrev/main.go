@@ -81,7 +81,7 @@ commands:
   query        evaluate a label-path query against a built repository
   suggest      propose new concept instances from unidentified text
   quarantine   list documents a build quarantined, or replay them after a fix
-  experiments  regenerate the paper's evaluation (E1-E10)
+  experiments  regenerate the paper's evaluation (E1-E10, E12)
 
 build and experiments accept -metrics FILE (JSON stage-metrics snapshot)
 and -pprof ADDR (live /debug/pprof + /metrics endpoint).
@@ -390,7 +390,7 @@ func cmdQuarantine(args []string, w io.Writer) error {
 
 func cmdExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10", "comma-separated experiment ids")
+	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10,E12", "comma-separated experiment ids")
 	docs := fs.Int("docs", 0, "override corpus size (0 = per-experiment default)")
 	seed := fs.Int64("seed", 1, "corpus seed")
 	metricsOut, pprofAddr := obsFlags(fs)
@@ -466,6 +466,17 @@ func cmdExperiments(args []string, w io.Writer) error {
 	}
 	if want["E10"] {
 		r, err := experiments.RunFaultTolerance(n(60), []float64{0, 0.1, 0.25, 0.75}, 0, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Report())
+	}
+	if want["E12"] {
+		sizes := []int{20, 50, 100, 200}
+		if *docs > 0 {
+			sizes = []int{*docs / 4, *docs / 2, *docs}
+		}
+		r, err := experiments.RunHotPath(sizes, *seed)
 		if err != nil {
 			return err
 		}

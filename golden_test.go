@@ -81,6 +81,16 @@ func TestGoldenBuild(t *testing.T) {
 	if snap.Counters["docs.converted"] != goldenDocs {
 		t.Errorf("docs.converted = %d, want %d", snap.Counters["docs.converted"], goldenDocs)
 	}
+	// The hot-path memos must be machine-deterministic: DeriveDTD warms
+	// the compiled conformance index, so every mapped document is a memo
+	// hit, and the parallel miner folds a fixed shard count.
+	if snap.Counters["map.memo_hits"] != goldenDocs {
+		t.Errorf("map.memo_hits = %d, want %d (every Conform should reuse the precompiled index)",
+			snap.Counters["map.memo_hits"], goldenDocs)
+	}
+	if snap.Counters["mine.shards"] != 8 {
+		t.Errorf("mine.shards = %d, want the fixed build constant 8", snap.Counters["mine.shards"])
+	}
 
 	got := renderGolden(t, repo, snap)
 	dir := filepath.Join("testdata", "golden")

@@ -461,6 +461,13 @@ func (p *Pipeline) ExtractPaths(d *Document) *schema.DocPaths {
 	return d.Paths
 }
 
+// mineShards is the shard count the batch build's parallel path mining
+// folds with. It is a fixed constant — not GOMAXPROCS — because the miner
+// records it as the obs counter "mine.shards", and golden metrics must not
+// depend on the machine running the build. Stride-sharded folding over
+// mergeable accumulators is cheap even when shards outnumber cores.
+const mineShards = 8
+
 // miner assembles the configured frequent-path miner.
 func (p *Pipeline) miner() *schema.Miner {
 	return &schema.Miner{
@@ -472,34 +479,46 @@ func (p *Pipeline) miner() *schema.Miner {
 	}
 }
 
-// mineStats mines accumulated corpus statistics into the majority schema,
-// applying the configured unification step — the single mining entry point
-// shared by DiscoverSchema and BuildStream.
-func (p *Pipeline) mineStats(acc *schema.Accumulator) *schema.Schema {
-	s := p.miner().DiscoverStats(acc)
+// unify applies the configured schema-unification step.
+func (p *Pipeline) unify(s *schema.Schema) *schema.Schema {
 	if p.cfg.UnifySimilar > 0 {
 		schema.Unify(s, p.cfg.UnifySimilar)
 	}
 	return s
 }
 
+// mineStats mines accumulated corpus statistics into the majority schema,
+// applying the configured unification step — the mining entry point for
+// pre-folded summaries (BuildStream's merged shards, checkpoint resume).
+func (p *Pipeline) mineStats(acc *schema.Accumulator) *schema.Schema {
+	return p.unify(p.miner().DiscoverStats(acc))
+}
+
 // DiscoverSchema mines the majority schema over converted documents. Path
 // extraction is timed under obs.StageExtract (once per document, cached on
-// the Document) and mining under obs.StageMine.
+// the Document); the statistics fold runs sharded in parallel
+// (mineShards-way, obs.StageMineFold) and mining under obs.StageMine —
+// byte-identical to the serial fold because accumulator merging is exact.
 func (p *Pipeline) DiscoverSchema(docs []*Document) *schema.Schema {
-	acc := schema.NewAccumulator(0)
+	paths := make([]*schema.DocPaths, len(docs))
 	for i, d := range docs {
-		acc.Add(i, p.ExtractPaths(d))
+		paths[i] = p.ExtractPaths(d)
 	}
-	return p.mineStats(acc)
+	m := p.miner()
+	m.Shards = mineShards
+	return p.unify(m.Discover(paths))
 }
 
 // DeriveDTD turns a schema into a DTD with the configured options, timed
-// under obs.StageDerive.
+// under obs.StageDerive. The returned DTD carries a precompiled
+// conformance index (mapping.Precompile), so every parallel mapping worker
+// starts on a warm cache — which also makes the "map.memo_hits" counter
+// deterministic: one hit per conformed document.
 func (p *Pipeline) DeriveDTD(s *schema.Schema) *dtd.DTD {
 	sp := p.tr.StartSpan(obs.StageDerive)
 	d := dtd.FromSchema(s, p.cfg.DTD)
 	sp.End()
+	mapping.Precompile(d)
 	if p.tr.Enabled() {
 		p.tr.Add(obs.CtrDTDElements, int64(d.Len()))
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"webrev/internal/dom"
 	"webrev/internal/schema"
@@ -66,7 +67,23 @@ type DTD struct {
 	RootName string
 	Elements []*Element // root first, then first-appearance order
 	index    map[string]*Element
+
+	// compiled caches a consumer-built derived index of this DTD (the
+	// conformance tables of internal/mapping — see mapping.Precompile).
+	// Lock-free so parallel mapping workers share one instance. The cache
+	// assumes the declarations are immutable once the first consumer runs.
+	compiled atomic.Value
 }
+
+// Compiled returns the cached derived index stored by StoreCompiled, or nil
+// if none has been stored yet. The dynamic type is owned by the consumer
+// that stored it.
+func (d *DTD) Compiled() any { return d.compiled.Load() }
+
+// StoreCompiled caches a derived index on the DTD. Concurrent stores are
+// safe; later stores win. Values must be of a consistent dynamic type per
+// process (an atomic.Value constraint).
+func (d *DTD) StoreCompiled(v any) { d.compiled.Store(v) }
 
 // Options configures DTD derivation.
 type Options struct {

@@ -1,0 +1,52 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTreeDistanceAllocsSteadyState pins the pooled edit-distance scratch:
+// once the pool is warm, repeated TreeDistance calls — postorder builds,
+// label interning, kernel dispatch, and the full DP — must not allocate.
+// A regression here (per-call matrices, label string concatenation, an
+// escaping cost-function comparison) multiplies allocations across every
+// distance computed by experiments and delta builds.
+func TestTreeDistanceAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; the pin only holds in normal builds")
+	}
+	r := rand.New(rand.NewSource(7))
+	a, b := randDoc(r, 40), randDoc(r, 40)
+	costs := UnitCosts()
+	// Warm the pool and grow the scratch to the working-set size.
+	for i := 0; i < 4; i++ {
+		TreeDistance(a, b, costs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		TreeDistance(a, b, costs)
+	}); allocs != 0 {
+		t.Errorf("TreeDistance steady state: %v allocs/run, want 0", allocs)
+	}
+	// The identical-tree short-circuit is equally allocation-free.
+	c := a.Clone()
+	for i := 0; i < 4; i++ {
+		TreeDistance(a, c, costs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		TreeDistance(a, c, costs)
+	}); allocs != 0 {
+		t.Errorf("TreeDistance memo hit: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestSubtreeHashAllocs pins the standalone hash: it walks the tree with
+// no scratch state at all.
+func TestSubtreeHashAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randDoc(r, 60)
+	if allocs := testing.AllocsPerRun(100, func() {
+		SubtreeHash(a)
+	}); allocs != 0 {
+		t.Errorf("SubtreeHash: %v allocs/run, want 0", allocs)
+	}
+}

@@ -32,9 +32,37 @@ func (s EditStats) Cost() int {
 // and text into the parent's val, and merged occurrences concatenate vals
 // and adopt children. Use ConformScript to additionally obtain the ordered
 // edit operations.
+//
+// Conform runs the non-recording fast path over the compiled conformance
+// index cached on d (see Precompile): no per-node lookup-table rebuilds, no
+// operation strings. The transformation and counts are exactly those of
+// ConformScript — pinned by the lockstep property test in script_test.go.
 func Conform(doc *dom.Node, d *dtd.DTD) (*dom.Node, EditStats) {
-	out, script := ConformScript(doc, d)
-	return out, script.Stats()
+	out, stats, _ := conformFast(doc, d)
+	return out, stats
+}
+
+// conformFast is Conform returning whether the compiled index was already
+// cached on d (a memo hit, recorded by ConformTraced).
+func conformFast(doc *dom.Node, d *dtd.DTD) (*dom.Node, EditStats, bool) {
+	cd, hit := compiledIndex(d)
+	var stats EditStats
+	out := doc.Clone()
+	if out.Type != dom.ElementNode {
+		if el := out.Find(func(n *dom.Node) bool { return n.Type == dom.ElementNode }); el != nil {
+			el.Detach()
+			out = el
+		} else {
+			out = dom.NewElement(d.RootName)
+			stats.Inserted++
+		}
+	}
+	if out.Tag != d.RootName && d.RootName != "" {
+		stats.Renamed++
+		out.Tag = d.RootName
+	}
+	conformNode(out, cd, &stats)
+	return out, stats, hit
 }
 
 // ConformTraced is Conform timed under obs.StageMap with the edit-cost and
@@ -44,11 +72,14 @@ func Conform(doc *dom.Node, d *dtd.DTD) (*dom.Node, EditStats) {
 func ConformTraced(doc *dom.Node, d *dtd.DTD, tr obs.Tracer) (*dom.Node, EditStats) {
 	tr = obs.OrNop(tr)
 	sp := tr.StartSpan(obs.StageMap)
-	out, stats := Conform(doc, d)
+	out, stats, hit := conformFast(doc, d)
 	sp.End()
 	if tr.Enabled() {
 		tr.Add(obs.CtrMapDocs, 1)
 		tr.Add(obs.CtrMapEdits, int64(stats.Cost()))
+		if hit {
+			tr.Add(obs.CtrMapMemoHits, 1)
+		}
 		record := func(kind OpKind, n int) {
 			if n > 0 {
 				tr.Add(obs.MapOpCounter(kind.String()), int64(n))

@@ -33,33 +33,62 @@
 // trees (distance = cost of inserting/deleting the other side), and
 // single-node and comment-only trees take the n==0/m==0 fast path or the
 // ordinary recurrence without special cases.
+//
+// # Performance model
+//
+// TreeDistance is on the mapping hot path (experiment E5 computes it per
+// document, and the incremental-recrawl direction needs it per delta), so
+// the implementation is allocation-free at steady state:
+//
+//   - Every call borrows a pooled scratch (sync.Pool) holding the two
+//     postorder representations, the interned label table, and the flat
+//     td/fd distance matrices, instead of allocating [][]float64 rows.
+//   - During the single postorder traversal each node's label is interned
+//     to a dense int32 id (text nodes hash their content without building
+//     the "#text:" key) and an FNV-1a structure hash of its subtree —
+//     label plus child hashes — is memoized per node.
+//   - Structurally identical trees short-circuit to distance 0 under any
+//     cost model whose same-label rename cost is zero: equal root hashes
+//     are verified with an exact O(n) shape comparison (hash collisions
+//     can never produce a wrong distance), counted by MemoStats.
+//   - The canonical UnitCosts model runs a devirtualized kernel comparing
+//     interned label ids directly; custom cost tables take the generic
+//     kernel, which performs the identical float operations in the same
+//     order, so both kernels return bit-identical distances (pinned by
+//     the memo-vs-naive property and fuzz tests).
 package mapping
 
 import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+
 	"webrev/internal/dom"
 )
 
 // Costs parameterizes the edit distance. The zero value is invalid; use
-// UnitCosts.
+// UnitCosts. Cost functions must be non-negative. Replacing individual
+// fields of a UnitCosts() value is allowed and routes the computation to
+// the generic kernel.
 type Costs struct {
 	Insert func(n *dom.Node) float64
 	Delete func(n *dom.Node) float64
 	Rename func(a, b *dom.Node) float64
 }
 
+func unitInsert(*dom.Node) float64 { return 1 }
+func unitDelete(*dom.Node) float64 { return 1 }
+func unitRename(a, b *dom.Node) float64 {
+	if label(a) == label(b) {
+		return 0
+	}
+	return 1
+}
+
 // UnitCosts returns the standard unit-cost model: 1 per insert/delete, 1 per
 // rename of differing labels, 0 for matching labels.
 func UnitCosts() Costs {
-	return Costs{
-		Insert: func(*dom.Node) float64 { return 1 },
-		Delete: func(*dom.Node) float64 { return 1 },
-		Rename: func(a, b *dom.Node) float64 {
-			if label(a) == label(b) {
-				return 0
-			}
-			return 1
-		},
-	}
+	return Costs{Insert: unitInsert, Delete: unitDelete, Rename: unitRename}
 }
 
 func label(n *dom.Node) string {
@@ -69,6 +98,10 @@ func label(n *dom.Node) string {
 	return n.Tag
 }
 
+// treeMemoHits counts identical-tree short-circuits across all TreeDistance
+// calls (see MemoStats).
+var treeMemoHits atomic.Int64
+
 // TreeDistance computes the Zhang–Shasha ordered tree edit distance between
 // the trees rooted at t1 and t2 under the given cost model. Element and
 // text nodes participate; comments and doctypes are ignored. A nil root is
@@ -76,34 +109,174 @@ func label(n *dom.Node) string {
 // deleting) every node of the other side, and two nil roots are at
 // distance 0.
 func TreeDistance(t1, t2 *dom.Node, costs Costs) float64 {
-	a := newOrdered(t1)
-	b := newOrdered(t2)
-	return zhangShasha(a, b, costs)
+	sc := scratchPool.Get().(*zsScratch)
+	defer scratchPool.Put(sc)
+	clear(sc.labels)
+	sc.a.build(t1, sc)
+	sc.b.build(t2, sc)
+	return zhangShasha(&sc.a, &sc.b, costs, sc)
 }
 
-// ordered is the postorder representation Zhang–Shasha works on.
+// treeDistanceNaive is the unpooled, unmemoized reference implementation
+// the property and fuzz tests compare TreeDistance against: fresh
+// allocations, generic kernel, no identical-tree short-circuit.
+func treeDistanceNaive(t1, t2 *dom.Node, costs Costs) float64 {
+	sc := &zsScratch{labels: make(map[labelKey]int32)}
+	sc.a.build(t1, sc)
+	sc.b.build(t2, sc)
+	a, b := &sc.a, &sc.b
+	n, m := len(a.nodes), len(b.nodes)
+	if n == 0 || m == 0 {
+		return emptyDistance(a, b, costs)
+	}
+	td := make([]float64, n*m)
+	fd := make([]float64, (n+1)*(m+1))
+	for _, i := range a.keyrs {
+		for _, j := range b.keyrs {
+			treedistGeneric(a, b, i, j, td, fd, costs)
+		}
+	}
+	return td[(n-1)*m+m-1]
+}
+
+// MemoStats reports the cumulative effectiveness of the mapping memos: the
+// number of TreeDistance calls short-circuited by the subtree-hash identity
+// check (TreeHits) and the number of Conform calls that reused a compiled
+// DTD index (ConformHits). Counters are process-wide and monotone.
+func MemoStats() (treeHits, conformHits int64) {
+	return treeMemoHits.Load(), conformMemoHits.Load()
+}
+
+// labelKey distinguishes text-node content from a same-spelled element tag
+// without building the "#text:"-prefixed string.
+type labelKey struct {
+	text bool
+	s    string
+}
+
+// ordered is the postorder representation Zhang–Shasha works on, extended
+// with the per-node interned label ids and memoized subtree structure
+// hashes computed during the same traversal.
 type ordered struct {
 	nodes []*dom.Node // postorder
 	lmld  []int       // leftmost leaf descendant index per node
-	keyrs []int       // keyroots
+	keyrs []int       // keyroots, ascending
+	lab   []int32     // interned label id per node (scratch-scoped)
+	hash  []uint64    // FNV-1a structure hash of the subtree at each node
 }
 
-func newOrdered(root *dom.Node) *ordered {
-	o := &ordered{}
-	if root == nil {
-		return o
+// zsScratch is the pooled per-call state: both postorder forms, the shared
+// label intern table, the flat td/fd matrices, and the keyroot seen-marks.
+type zsScratch struct {
+	a, b   ordered
+	labels map[labelKey]int32
+	td, fd []float64
+	seen   []bool
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &zsScratch{labels: make(map[labelKey]int32, 64)} },
+}
+
+func (sc *zsScratch) intern(n *dom.Node) int32 {
+	k := labelKey{text: n.Type == dom.TextNode}
+	if k.text {
+		k.s = n.Text
+	} else {
+		k.s = n.Tag
 	}
-	var walk func(n *dom.Node) int // returns index of n's leftmost leaf
-	walk = func(n *dom.Node) int {
+	id, ok := sc.labels[k]
+	if !ok {
+		id = int32(len(sc.labels))
+		sc.labels[k] = id
+	}
+	return id
+}
+
+// FNV-1a constants; the structure hash mixes a node-kind marker, the label
+// bytes, and each participating child's subtree hash in order.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func hashByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func hashUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// SubtreeHash returns the FNV-1a structure hash of the subtree rooted at n
+// under the edit-distance node model (elements by tag, text nodes by
+// content, comments and doctypes ignored). Equal trees always hash equal;
+// the hash is stable across calls and processes, which is what makes it
+// usable as a cheap change detector for incremental delta builds.
+func SubtreeHash(n *dom.Node) uint64 {
+	if n == nil {
+		return fnvOffset
+	}
+	h := fnvOffset
+	if n.Type == dom.TextNode {
+		h = hashByte(h, 2)
+		h = hashString(h, n.Text)
+	} else {
+		h = hashByte(h, 1)
+		h = hashString(h, n.Tag)
+	}
+	for _, c := range n.Children {
+		if c.Type != dom.ElementNode && c.Type != dom.TextNode {
+			continue
+		}
+		h = hashUint64(h, SubtreeHash(c))
+	}
+	return h
+}
+
+// build (re)computes the postorder representation of root into o, reusing
+// the slices from the previous call. Labels are interned through sc so both
+// trees of a distance computation share one id space.
+func (o *ordered) build(root *dom.Node, sc *zsScratch) {
+	o.nodes = o.nodes[:0]
+	o.lmld = o.lmld[:0]
+	o.keyrs = o.keyrs[:0]
+	o.lab = o.lab[:0]
+	o.hash = o.hash[:0]
+	if root == nil {
+		return
+	}
+	var walk func(n *dom.Node) (lm int, h uint64)
+	walk = func(n *dom.Node) (int, uint64) {
 		lm := -1
+		h := fnvOffset
+		if n.Type == dom.TextNode {
+			h = hashByte(h, 2)
+			h = hashString(h, n.Text)
+		} else {
+			h = hashByte(h, 1)
+			h = hashString(h, n.Tag)
+		}
 		for _, c := range n.Children {
 			if c.Type != dom.ElementNode && c.Type != dom.TextNode {
 				continue
 			}
-			l := walk(c)
+			l, ch := walk(c)
 			if lm == -1 {
 				lm = l
 			}
+			h = hashUint64(h, ch)
 		}
 		o.nodes = append(o.nodes, n)
 		idx := len(o.nodes) - 1
@@ -111,83 +284,202 @@ func newOrdered(root *dom.Node) *ordered {
 			lm = idx
 		}
 		o.lmld = append(o.lmld, lm)
-		return lm
+		o.lab = append(o.lab, sc.intern(n))
+		o.hash = append(o.hash, h)
+		return lm, h
 	}
 	walk(root)
-	// Keyroots: nodes with no left sibling on the path (distinct lmld, take
-	// the highest postorder index per lmld value).
-	last := make(map[int]int)
-	for i, l := range o.lmld {
-		last[l] = i
+	// Keyroots: the highest postorder index per distinct lmld value.
+	// Scanning from the root down with a seen-mark per lmld value finds
+	// them without a map; the collected list is descending, so reverse it.
+	n := len(o.nodes)
+	seen := sc.seen
+	if cap(seen) < n {
+		seen = make([]bool, n)
+		sc.seen = seen
 	}
-	for _, i := range last {
-		o.keyrs = append(o.keyrs, i)
+	seen = seen[:n]
+	for i := range seen {
+		seen[i] = false
 	}
-	// Sort keyroots ascending.
-	for i := 1; i < len(o.keyrs); i++ {
-		for j := i; j > 0 && o.keyrs[j-1] > o.keyrs[j]; j-- {
-			o.keyrs[j-1], o.keyrs[j] = o.keyrs[j], o.keyrs[j-1]
+	for i := n - 1; i >= 0; i-- {
+		if !seen[o.lmld[i]] {
+			seen[o.lmld[i]] = true
+			o.keyrs = append(o.keyrs, i)
 		}
 	}
-	return o
+	for i, j := 0, len(o.keyrs)-1; i < j; i, j = i+1, j-1 {
+		o.keyrs[i], o.keyrs[j] = o.keyrs[j], o.keyrs[i]
+	}
 }
 
-func zhangShasha(a, b *ordered, costs Costs) float64 {
+// sameShape reports exact structural equality of the two postorder forms:
+// equal interned labels and equal leftmost-leaf structure at every index.
+// It is the collision-proof verification behind the hash short-circuit.
+func sameShape(a, b *ordered) bool {
+	if len(a.nodes) != len(b.nodes) {
+		return false
+	}
+	for i := range a.lab {
+		if a.lab[i] != b.lab[i] || a.lmld[i] != b.lmld[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// isUnit reports whether all three cost functions are the canonical unit
+// model, enabling the devirtualized kernel. Detection is by code pointer,
+// so a UnitCosts() value with any field replaced takes the generic kernel.
+func (c Costs) isUnit() bool {
+	return funcEq(c.Insert, unitInsert) && funcEq(c.Delete, unitDelete) &&
+		funcEq2(c.Rename, unitRename)
+}
+
+// funcEq / funcEq2 compare function values by code pointer. Func values are
+// pointer-shaped, so the reflect conversions below do not allocate — pinned
+// by the steady-state AllocsPerRun test on TreeDistance.
+func funcEq(f, g func(*dom.Node) float64) bool {
+	return f != nil && reflect.ValueOf(f).Pointer() == reflect.ValueOf(g).Pointer()
+}
+
+func funcEq2(f, g func(a, b *dom.Node) float64) bool {
+	return f != nil && reflect.ValueOf(f).Pointer() == reflect.ValueOf(g).Pointer()
+}
+
+// zeroSameRename reports whether the rename cost of equal labels is zero —
+// the property that makes "identical trees ⇒ distance 0" hold regardless
+// of the insert/delete costs.
+func (c Costs) zeroSameRename() bool { return funcEq2(c.Rename, unitRename) }
+
+func emptyDistance(a, b *ordered, costs Costs) float64 {
+	var d float64
+	for _, x := range a.nodes {
+		d += costs.Delete(x)
+	}
+	for _, x := range b.nodes {
+		d += costs.Insert(x)
+	}
+	return d
+}
+
+func zhangShasha(a, b *ordered, costs Costs, sc *zsScratch) float64 {
 	n, m := len(a.nodes), len(b.nodes)
 	if n == 0 || m == 0 {
-		var d float64
-		for _, x := range a.nodes {
-			d += costs.Delete(x)
+		return emptyDistance(a, b, costs)
+	}
+	// Memoized-subtree short-circuit: identical root hashes, verified by an
+	// exact shape comparison, mean distance 0 under any zero-same-rename
+	// cost model — no matrices touched.
+	if n == m && a.hash[n-1] == b.hash[m-1] && costs.zeroSameRename() && sameShape(a, b) {
+		treeMemoHits.Add(1)
+		return 0
+	}
+	td := growFloats(&sc.td, n*m)
+	fd := growFloats(&sc.fd, (n+1)*(m+1))
+	if costs.isUnit() {
+		for _, i := range a.keyrs {
+			for _, j := range b.keyrs {
+				treedistUnit(a, b, i, j, td, fd)
+			}
 		}
-		for _, x := range b.nodes {
-			d += costs.Insert(x)
-		}
-		return d
-	}
-	td := make([][]float64, n)
-	for i := range td {
-		td[i] = make([]float64, m)
-	}
-	fd := make([][]float64, n+1)
-	for i := range fd {
-		fd[i] = make([]float64, m+1)
-	}
-	for _, i := range a.keyrs {
-		for _, j := range b.keyrs {
-			treedist(a, b, i, j, td, fd, costs)
+	} else {
+		for _, i := range a.keyrs {
+			for _, j := range b.keyrs {
+				treedistGeneric(a, b, i, j, td, fd, costs)
+			}
 		}
 	}
-	return td[n-1][m-1]
+	return td[(n-1)*m+m-1]
 }
 
-// treedist fills td[i][j] for the subtree pair rooted at postorder i of a
-// and j of b (the classic forest-distance recurrence).
-func treedist(a, b *ordered, i, j int, td, fd [][]float64, costs Costs) {
+// growFloats returns (*s)[:want], reallocating only when capacity is
+// insufficient — the pooled-matrix reuse path.
+func growFloats(s *[]float64, want int) []float64 {
+	if cap(*s) < want {
+		*s = make([]float64, want)
+	}
+	return (*s)[:want]
+}
+
+// treedistUnit fills the td entries for the subtree pair rooted at
+// postorder i of a and j of b under the canonical unit-cost model: the
+// classic forest-distance recurrence with interned-label comparison in
+// place of cost-function calls. It performs the same float additions in
+// the same order as treedistGeneric with UnitCosts, so the two are
+// bit-identical.
+func treedistUnit(a, b *ordered, i, j int, td, fd []float64) {
+	m := len(b.nodes)
+	m1 := m + 1
 	li, lj := a.lmld[i], b.lmld[j]
-	fd[li][lj] = 0
+	fd[li*m1+lj] = 0
 	for di := li; di <= i; di++ {
-		fd[di+1][lj] = fd[di][lj] + costs.Delete(a.nodes[di])
+		fd[(di+1)*m1+lj] = fd[di*m1+lj] + 1
 	}
 	for dj := lj; dj <= j; dj++ {
-		fd[li][dj+1] = fd[li][dj] + costs.Insert(b.nodes[dj])
+		fd[li*m1+dj+1] = fd[li*m1+dj] + 1
 	}
 	for di := li; di <= i; di++ {
+		alm, alab := a.lmld[di], a.lab[di]
+		row := di * m1
+		row1 := row + m1
+		tdrow := di * m
 		for dj := lj; dj <= j; dj++ {
-			if a.lmld[di] == li && b.lmld[dj] == lj {
-				m := min3(
-					fd[di][dj+1]+costs.Delete(a.nodes[di]),
-					fd[di+1][dj]+costs.Insert(b.nodes[dj]),
-					fd[di][dj]+costs.Rename(a.nodes[di], b.nodes[dj]),
-				)
-				fd[di+1][dj+1] = m
-				td[di][dj] = m
+			if alm == li && b.lmld[dj] == lj {
+				ren := fd[row+dj]
+				if alab != b.lab[dj] {
+					ren += 1
+				}
+				v := min3(fd[row+dj+1]+1, fd[row1+dj]+1, ren)
+				fd[row1+dj+1] = v
+				td[tdrow+dj] = v
 			} else {
-				m := min3(
-					fd[di][dj+1]+costs.Delete(a.nodes[di]),
-					fd[di+1][dj]+costs.Insert(b.nodes[dj]),
-					fd[a.lmld[di]][b.lmld[dj]]+td[di][dj],
+				v := min3(
+					fd[row+dj+1]+1,
+					fd[row1+dj]+1,
+					fd[alm*m1+b.lmld[dj]]+td[tdrow+dj],
 				)
-				fd[di+1][dj+1] = m
+				fd[row1+dj+1] = v
+			}
+		}
+	}
+}
+
+// treedistGeneric is the cost-table kernel (the classic forest-distance
+// recurrence) over the flat matrices.
+func treedistGeneric(a, b *ordered, i, j int, td, fd []float64, costs Costs) {
+	m := len(b.nodes)
+	m1 := m + 1
+	li, lj := a.lmld[i], b.lmld[j]
+	fd[li*m1+lj] = 0
+	for di := li; di <= i; di++ {
+		fd[(di+1)*m1+lj] = fd[di*m1+lj] + costs.Delete(a.nodes[di])
+	}
+	for dj := lj; dj <= j; dj++ {
+		fd[li*m1+dj+1] = fd[li*m1+dj] + costs.Insert(b.nodes[dj])
+	}
+	for di := li; di <= i; di++ {
+		alm := a.lmld[di]
+		an := a.nodes[di]
+		row := di * m1
+		row1 := row + m1
+		tdrow := di * m
+		for dj := lj; dj <= j; dj++ {
+			if alm == li && b.lmld[dj] == lj {
+				v := min3(
+					fd[row+dj+1]+costs.Delete(an),
+					fd[row1+dj]+costs.Insert(b.nodes[dj]),
+					fd[row+dj]+costs.Rename(an, b.nodes[dj]),
+				)
+				fd[row1+dj+1] = v
+				td[tdrow+dj] = v
+			} else {
+				v := min3(
+					fd[row+dj+1]+costs.Delete(an),
+					fd[row1+dj]+costs.Insert(b.nodes[dj]),
+					fd[alm*m1+b.lmld[dj]]+td[tdrow+dj],
+				)
+				fd[row1+dj+1] = v
 			}
 		}
 	}

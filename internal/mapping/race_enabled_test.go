@@ -1,0 +1,8 @@
+//go:build race
+
+package mapping
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool deliberately drops items under the race detector, so the
+// strict zero-allocation pins on pooled scratch cannot hold there.
+const raceEnabled = true

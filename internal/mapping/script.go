@@ -89,6 +89,7 @@ func (s Script) Stats() EditStats {
 // conformed copy and the edit script that produced it. Conform remains the
 // cheaper entry point when only counts are needed.
 func ConformScript(doc *dom.Node, d *dtd.DTD) (*dom.Node, Script) {
+	cd, _ := compiledIndex(d)
 	var script Script
 	out := doc.Clone()
 	if out.Type != dom.ElementNode {
@@ -105,33 +106,25 @@ func ConformScript(doc *dom.Node, d *dtd.DTD) (*dom.Node, Script) {
 			Detail: fmt.Sprintf("root %s -> %s", out.Tag, d.RootName)})
 		out.Tag = d.RootName
 	}
-	conformNodeScript(out, "/"+out.Tag, d, &script)
+	conformNodeScript(out, "/"+out.Tag, cd, &script)
 	return out, script
 }
 
 // conformNodeScript mirrors conformNode with operation recording. The two
-// are kept in lockstep by the equivalence test in script_test.go.
-func conformNodeScript(n *dom.Node, path string, d *dtd.DTD, script *Script) {
-	decl := d.Element(n.Tag)
-	if decl == nil {
+// are kept in lockstep by the equivalence test in script_test.go. Both read
+// the shared compiled conformance tables (see compile.go) instead of
+// rebuilding per-node membership and position maps.
+func conformNodeScript(n *dom.Node, path string, cd *compiledDTD, script *Script) {
+	ce := cd.elems[n.Tag]
+	if ce == nil {
 		return
 	}
-	model := decl.Children
-	inModel := make(map[string]bool, len(model))
-	for _, c := range model {
-		if c.Group != nil {
-			for _, m := range c.Group {
-				inModel[m.Name] = true
-			}
-			continue
-		}
-		inModel[c.Name] = true
-	}
+	model := ce.decl.Children
 
 	for changed := true; changed; {
 		changed = false
 		for _, c := range n.Children {
-			if c.Type != dom.ElementNode || inModel[c.Tag] {
+			if c.Type != dom.ElementNode || ce.inModel[c.Tag] {
 				continue
 			}
 			if len(c.Children) == 0 {
@@ -153,16 +146,6 @@ func conformNodeScript(n *dom.Node, path string, d *dtd.DTD, script *Script) {
 	}
 
 	buckets := make([][]*dom.Node, len(model))
-	pos := make(map[string]int, len(model))
-	for i, c := range model {
-		if c.Group != nil {
-			for _, m := range c.Group {
-				pos[m.Name] = i
-			}
-			continue
-		}
-		pos[c.Name] = i
-	}
 	kids := make([]*dom.Node, len(n.Children))
 	copy(kids, n.Children)
 	orderChanged := false
@@ -175,7 +158,7 @@ func conformNodeScript(n *dom.Node, path string, d *dtd.DTD, script *Script) {
 			c.Detach()
 			continue
 		}
-		p := pos[c.Tag]
+		p := ce.pos[c.Tag]
 		if p < prevPos {
 			orderChanged = true
 		}
@@ -226,7 +209,7 @@ func conformNodeScript(n *dom.Node, path string, d *dtd.DTD, script *Script) {
 	}
 
 	for _, c := range n.Children {
-		conformNodeScript(c, path+"/"+c.Tag, d, script)
+		conformNodeScript(c, path+"/"+c.Tag, cd, script)
 	}
 }
 

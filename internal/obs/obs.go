@@ -54,6 +54,9 @@ const (
 	StageConvert = "pipeline.convert" // HTML → concept-tagged XML, per document
 	StageExtract = "schema.extract"   // XML → label-path representation
 	StageMine    = "schema.mine"      // frequent-path discovery
+	// StageMineFold times the parallel per-shard accumulator fold that
+	// precedes frequent-path discovery when the miner runs sharded.
+	StageMineFold = "schema.mine.fold"
 	StageDerive  = "dtd.derive"       // schema → DTD
 	StageMap     = "map.conform"      // DTD-guided document mapping, per document
 	StageCrawl   = "crawl"            // acquisition crawl (bridged from crawler.Report)
@@ -89,6 +92,8 @@ const (
 	CtrDTDElements    = "dtd.elements"        // element declarations derived
 	CtrMapEdits       = "map.edits"           // total edit operations across documents
 	CtrMapDocs        = "map.docs"            // documents through conformance mapping
+	CtrMapMemoHits    = "map.memo_hits"       // Conform calls reusing the precompiled DTD index
+	CtrMineShards     = "mine.shards"         // accumulator shards folded by the parallel miner
 	CtrDocsQuarantined = "docs.quarantined" // documents dropped by per-document fault isolation
 	CtrDocsDegraded    = "docs.degraded"    // documents kept but truncated or identity-mapped by limits
 	CtrDocsRestored    = "docs.restored"    // documents restored from a streaming-build checkpoint

@@ -17,26 +17,29 @@ import (
 // folded, keeping memory bounded by the summary instead of the corpus.
 //
 // Exactness is what makes Merge order-free. Document counts are integers;
-// per-document average child positions are accumulated as big.Rat sums
-// (float addition is not associative, so a float accumulator would make the
-// result depend on shard boundaries); child-sequence samples are tagged with
-// the document's corpus index so the final sample is the same first-N
-// prefix regardless of which shard saw which document.
+// per-document average child positions are accumulated as exact rational
+// sums (posRat — float addition is not associative, so a float accumulator
+// would make the result depend on shard boundaries); child-sequence samples
+// are tagged with the document's corpus index so the final sample is the
+// same first-N prefix regardless of which shard saw which document.
 type Accumulator struct {
 	// rep is the sibling-multiplicity threshold (§3.3) repetition counts
 	// were folded with; accumulators only merge when they agree.
 	rep   int
 	docs  int
 	paths map[string]*pathAgg
+	// table caches Freeze()'s interned path table; any mutation (Add,
+	// Merge, UnmarshalJSON) invalidates it.
+	table *PathTable
 }
 
 // pathAgg aggregates one label path's statistics across the documents a
 // shard has seen.
 type pathAgg struct {
-	docs    int      // documents containing the path (support count)
-	posSum  *big.Rat // exact sum of per-document average child positions
-	posDocs int      // documents contributing to posSum
-	repDocs int      // documents where the path repeats (Mult >= rep)
+	docs    int    // documents containing the path (support count)
+	posSum  posRat // exact sum of per-document average child positions
+	posDocs int    // documents contributing to posSum
+	repDocs int    // documents where the path repeats (Mult >= rep)
 	seqs    []docSeqs
 	nseqs   int // total sequences held across seqs
 }
@@ -70,6 +73,7 @@ func (a *Accumulator) Docs() int { return a.docs }
 // document into a single accumulator in index order.
 func (a *Accumulator) Add(doc int, d *DocPaths) {
 	a.docs++
+	a.table = nil
 	for p := range d.Paths {
 		ag := a.paths[p]
 		if ag == nil {
@@ -81,12 +85,7 @@ func (a *Accumulator) Add(doc int, d *DocPaths) {
 			// Positions are small integers, so PosSum is an exact
 			// integer-valued float; the per-document average enters the sum
 			// as the exact rational PosSum/PosCount.
-			r := new(big.Rat).SetFrac64(int64(d.PosSum[p]), int64(n))
-			if ag.posSum == nil {
-				ag.posSum = r
-			} else {
-				ag.posSum.Add(ag.posSum, r)
-			}
+			ag.posSum.addFrac(int64(d.PosSum[p]), int64(n))
 			ag.posDocs++
 		}
 		if d.Mult[p] >= a.rep {
@@ -109,6 +108,7 @@ func (a *Accumulator) Merge(b *Accumulator) error {
 		return fmt.Errorf("schema: merging accumulators with different repetition thresholds (%d vs %d)", a.rep, b.rep)
 	}
 	a.docs += b.docs
+	a.table = nil
 	for p, bg := range b.paths {
 		ag := a.paths[p]
 		if ag == nil {
@@ -116,13 +116,7 @@ func (a *Accumulator) Merge(b *Accumulator) error {
 			continue
 		}
 		ag.docs += bg.docs
-		if bg.posSum != nil {
-			if ag.posSum == nil {
-				ag.posSum = bg.posSum
-			} else {
-				ag.posSum.Add(ag.posSum, bg.posSum)
-			}
-		}
+		ag.posSum.addRat(&bg.posSum)
 		ag.posDocs += bg.posDocs
 		ag.repDocs += bg.repDocs
 		ag.seqs = append(ag.seqs, bg.seqs...)
@@ -171,12 +165,14 @@ func (g *pathAgg) sample() [][]string {
 }
 
 // avgPos returns the mean of the per-document average child positions, and
-// whether any document contributed one.
+// whether any document contributed one. The quotient runs through big.Rat
+// exactly as the pre-posRat implementation did, so the reported float64 is
+// bit-identical.
 func (g *pathAgg) avgPos() (float64, bool) {
 	if g.posDocs == 0 {
 		return 0, false
 	}
-	q := new(big.Rat).Quo(g.posSum, new(big.Rat).SetInt64(int64(g.posDocs)))
+	q := new(big.Rat).Quo(g.posSum.rat(), new(big.Rat).SetInt64(int64(g.posDocs)))
 	f, _ := q.Float64()
 	return f, true
 }

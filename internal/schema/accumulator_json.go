@@ -55,9 +55,10 @@ func (a *Accumulator) MarshalJSON() ([]byte, error) {
 			PosDocs: g.posDocs,
 			RepDocs: g.repDocs,
 		}
-		if g.posSum != nil {
-			pj.PosNum = g.posSum.Num().String()
-			pj.PosDen = g.posSum.Denom().String()
+		if g.posSum.present() {
+			r := g.posSum.rat()
+			pj.PosNum = r.Num().String()
+			pj.PosDen = r.Denom().String()
 		}
 		seqs := append([]docSeqs(nil), g.seqs...)
 		sort.Slice(seqs, func(i, j int) bool { return seqs[i].doc < seqs[j].doc })
@@ -81,6 +82,7 @@ func (a *Accumulator) UnmarshalJSON(data []byte) error {
 	}
 	a.rep = in.Rep
 	a.docs = in.Docs
+	a.table = nil
 	a.paths = make(map[string]*pathAgg, len(in.Paths))
 	for _, pj := range in.Paths {
 		g := &pathAgg{
@@ -97,7 +99,7 @@ func (a *Accumulator) UnmarshalJSON(data []byte) error {
 			if !ok || den.Sign() == 0 {
 				return fmt.Errorf("schema: accumulator decode: bad position denominator %q", pj.PosDen)
 			}
-			g.posSum = new(big.Rat).SetFrac(num, den)
+			g.posSum.setRat(new(big.Rat).SetFrac(num, den))
 		}
 		for _, ds := range pj.Seqs {
 			g.seqs = append(g.seqs, docSeqs{doc: ds.Doc, seqs: ds.Seqs})

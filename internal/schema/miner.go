@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"webrev/internal/concept"
 	"webrev/internal/obs"
@@ -40,6 +41,14 @@ type Miner struct {
 	// Tracer, when non-nil, times Discover under obs.StageMine and records
 	// the explored/pruned/frequent path counters.
 	Tracer obs.Tracer
+	// Shards > 1 makes Discover fold the corpus in parallel: each of
+	// Shards workers folds a stride of the document slice into its own
+	// Accumulator (the per-worker shard pattern of core.BuildStream), the
+	// shards merge in shard order, and the merged summary is mined. Merge
+	// is exactly commutative and associative, so the result is
+	// byte-identical to the serial fold — pinned by the parallel-miner
+	// equivalence tests. Zero or one keeps the serial fold.
+	Shards int
 }
 
 // Node is one node of the discovered majority schema tree TF.
@@ -82,9 +91,43 @@ type Schema struct {
 // DiscoverStats — which is exactly what it does, so the batch and streaming
 // build paths share a single mining implementation.
 func (m *Miner) Discover(docs []*DocPaths) *Schema {
-	a := NewAccumulator(m.RepThreshold)
-	for i, d := range docs {
-		a.Add(i, d)
+	w := m.Shards
+	if w > len(docs) {
+		w = len(docs)
+	}
+	if w <= 1 {
+		a := NewAccumulator(m.RepThreshold)
+		for i, d := range docs {
+			a.Add(i, d)
+		}
+		return m.DiscoverStats(a)
+	}
+	tr := obs.OrNop(m.Tracer)
+	sp := tr.StartSpan(obs.StageMineFold)
+	shards := make([]*Accumulator, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			acc := NewAccumulator(m.RepThreshold)
+			for i := k; i < len(docs); i += w {
+				acc.Add(i, docs[i])
+			}
+			shards[k] = acc
+		}(k)
+	}
+	wg.Wait()
+	a := shards[0]
+	for _, b := range shards[1:] {
+		if err := a.Merge(b); err != nil {
+			// Unreachable: every shard was built with m.RepThreshold.
+			panic(err)
+		}
+	}
+	sp.End()
+	if tr.Enabled() {
+		tr.Add(obs.CtrMineShards, int64(w))
 	}
 	return m.DiscoverStats(a)
 }
@@ -109,44 +152,33 @@ func (m *Miner) DiscoverStats(a *Accumulator) *Schema {
 	}()
 	n := float64(a.Docs())
 
-	// Child labels per path, from the union trie. DocPaths.Paths is
-	// prefix-closed by construction, so the accumulated document frequency
-	// is antitone along prefixes.
-	children := make(map[string]map[string]bool)
-	rootLabels := make(map[string]bool)
-	for p := range a.paths {
-		parent := ParentPath(p)
-		if parent == "" {
-			rootLabels[p] = true
-			continue
-		}
-		cs := children[parent]
-		if cs == nil {
-			cs = make(map[string]bool)
-			children[parent] = cs
-		}
-		cs[LastLabel(p)] = true
-	}
+	// Mine over the frozen interned path table: parent/child edges and
+	// last labels are resolved once per accumulator generation instead of
+	// rebuilding a children map and "parent/label" keys per call. The
+	// candidate order (children in label order, roots in label order) is
+	// exactly the unfrozen miner's, so Explored/Pruned and the schema are
+	// unchanged. DocPaths.Paths is prefix-closed by construction, so the
+	// accumulated document frequency is antitone along prefixes.
+	t := a.Freeze()
 
-	var build func(path string, parentSup float64, depth int) *Node
-	build = func(path string, parentSup float64, depth int) *Node {
-		if m.Constraints != nil {
-			labels := Split(path)
-			// The root label (document type, e.g. "resume") is not a
-			// concept; constraints apply to the concept path below it.
-			if len(labels) > 1 {
-				if !m.Constraints.AllowPath(labels[1:], m.Set) {
-					s.Pruned++
-					return nil
-				}
+	// The DFS keeps the label stack of the current path, so constraint
+	// checks need no Split allocation. The root label (document type,
+	// e.g. "resume") is not a concept; constraints apply to the concept
+	// path below it (stack[1:]).
+	stack := make([]string, 0, 16)
+	var build func(id int32, parentSup float64) *Node
+	build = func(id int32, parentSup float64) *Node {
+		stack = append(stack, t.labels[id])
+		defer func() { stack = stack[:len(stack)-1] }()
+		if m.Constraints != nil && len(stack) > 1 {
+			if !m.Constraints.AllowPath(stack[1:], m.Set) {
+				s.Pruned++
+				return nil
 			}
 		}
 		s.Explored++
-		ag := a.paths[path]
-		contain := 0
-		if ag != nil {
-			contain = ag.docs
-		}
+		ag := t.aggs[id]
+		contain := ag.docs
 		sup := float64(contain) / n
 		ratio := 1.0
 		if parentSup > 0 {
@@ -156,8 +188,8 @@ func (m *Miner) DiscoverStats(a *Accumulator) *Schema {
 			return nil
 		}
 		node := &Node{
-			Label:   LastLabel(path),
-			Path:    path,
+			Label:   t.labels[id],
+			Path:    t.paths[id],
 			Support: sup,
 			Ratio:   ratio,
 		}
@@ -169,14 +201,9 @@ func (m *Miner) DiscoverStats(a *Accumulator) *Schema {
 			node.RepFrac = float64(ag.repDocs) / float64(contain)
 		}
 		node.Seqs = ag.sample()
-		var labels []string
-		for l := range children[path] {
-			labels = append(labels, l)
-		}
-		sort.Strings(labels)
-		for _, l := range labels {
-			if c := build(path+Sep+l, sup, depth+1); c != nil {
-				node.Children = append(node.Children, c)
+		for _, c := range t.children[id] {
+			if cn := build(c, sup); cn != nil {
+				node.Children = append(node.Children, cn)
 			}
 		}
 		// Ordering rule (§3.3): child elements ordered by average position.
@@ -186,13 +213,8 @@ func (m *Miner) DiscoverStats(a *Accumulator) *Schema {
 		return node
 	}
 
-	var roots []string
-	for r := range rootLabels {
-		roots = append(roots, r)
-	}
-	sort.Strings(roots)
-	for _, r := range roots {
-		if node := build(r, 0, 0); node != nil {
+	for _, r := range t.roots {
+		if node := build(r, 0); node != nil {
 			s.Roots = append(s.Roots, node)
 		}
 	}

@@ -1,0 +1,121 @@
+package schema
+
+import "math/big"
+
+// posRat is an exact non-negative rational accumulator for position sums.
+// It is the allocation-free replacement for the *big.Rat the accumulator
+// used per path: per-document averages are tiny fractions (child position
+// sums over child counts), so the running sum almost always fits a reduced
+// int64 fraction, and Add folds with zero heap allocations. If a reduced
+// intermediate ever overflows int64 the value spills permanently into a
+// big.Rat and keeps accumulating exactly — the represented rational is
+// identical either way, so avgPos and the JSON wire format are
+// bit-for-bit unchanged (pinned by the accumulator equivalence tests).
+//
+// The zero value represents "no sum yet" (den == 0 and r == nil).
+type posRat struct {
+	num, den int64    // reduced fraction, den > 0 when set
+	r        *big.Rat // overflow spill; authoritative when non-nil
+}
+
+// present reports whether any fraction has been folded in.
+func (p *posRat) present() bool { return p.r != nil || p.den != 0 }
+
+// addFrac adds num/den (den > 0, num >= 0) to the sum.
+func (p *posRat) addFrac(num, den int64) {
+	if p.r != nil {
+		p.r.Add(p.r, new(big.Rat).SetFrac64(num, den))
+		return
+	}
+	if p.den == 0 {
+		g := gcd64(num, den)
+		p.num, p.den = num/g, den/g
+		return
+	}
+	// a/b + c/d over the reduced common denominator: with g = gcd(b, d),
+	// the sum is (a·(d/g) + c·(b/g)) / (b·(d/g)).
+	g := gcd64(p.den, den)
+	dg := den / g
+	n1, ok1 := mulNonneg(p.num, dg)
+	n2, ok2 := mulNonneg(num, p.den/g)
+	nd, ok3 := mulNonneg(p.den, dg)
+	n := n1 + n2
+	if !ok1 || !ok2 || !ok3 || n < n1 {
+		p.spill()
+		p.addFrac(num, den)
+		return
+	}
+	rg := gcd64(n, nd)
+	p.num, p.den = n/rg, nd/rg
+}
+
+// addRat adds another posRat to the sum.
+func (p *posRat) addRat(q *posRat) {
+	if !q.present() {
+		return
+	}
+	if q.r != nil {
+		p.spill()
+		p.r.Add(p.r, q.r)
+		return
+	}
+	p.addFrac(q.num, q.den)
+}
+
+// setRat replaces the sum with an arbitrary exact rational (JSON restore).
+// Values fitting a reduced int64 fraction stay on the small path.
+func (p *posRat) setRat(r *big.Rat) {
+	if r.Num().IsInt64() && r.Denom().IsInt64() {
+		p.num, p.den, p.r = r.Num().Int64(), r.Denom().Int64(), nil
+		return
+	}
+	p.num, p.den, p.r = 0, 0, new(big.Rat).Set(r)
+}
+
+// rat returns the sum as a big.Rat (a fresh value on the small path; the
+// spill itself otherwise — callers must not mutate it).
+func (p *posRat) rat() *big.Rat {
+	if p.r != nil {
+		return p.r
+	}
+	if p.den == 0 {
+		return new(big.Rat)
+	}
+	return new(big.Rat).SetFrac64(p.num, p.den)
+}
+
+// spill converts the small representation into the big.Rat form in place.
+func (p *posRat) spill() {
+	if p.r != nil {
+		return
+	}
+	if p.den == 0 {
+		p.r = new(big.Rat)
+	} else {
+		p.r = new(big.Rat).SetFrac64(p.num, p.den)
+	}
+	p.num, p.den = 0, 0
+}
+
+// gcd64 returns gcd(a, b) for a >= 0, b > 0 (never zero).
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// mulNonneg multiplies two non-negative int64s, reporting overflow.
+func mulNonneg(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	c := a * b
+	if c/b != a || c < 0 {
+		return 0, false
+	}
+	return c, true
+}
