@@ -9,8 +9,8 @@ GO ?= go
 FUZZTIME ?= 5s
 
 .PHONY: build test vet race fuzz bench bench-convert bench-map bench-serve \
-	bench-stream-short docs-lint chaos coverage check ci-test \
-	ci-race-chaos ci-fuzz-docs
+	bench-recrawl bench-stream-short docs-lint chaos chaos-drift coverage \
+	check ci-test ci-race-chaos ci-fuzz-docs
 
 # Packages whose statement coverage is gated in CI (the convert hot path
 # plus the query/serving read path and the discover->mine->map stages).
@@ -49,8 +49,9 @@ race:
 # Native fuzz targets: the parser, the cleaner and the full converter must
 # accept arbitrary bytes without panicking; the tree-edit-distance memo and
 # the parallel path miner must additionally stay equivalent to their naive
-# and serial references on arbitrary inputs. Go allows one -fuzz target per
-# invocation, so each gets its own short run.
+# and serial references on arbitrary inputs; fold/subtract interleavings
+# over the delta accumulator must exactly invert. Go allows one -fuzz
+# target per invocation, so each gets its own short run.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzHTMLParse -fuzztime $(FUZZTIME) ./internal/htmlparse/
 	$(GO) test -run '^$$' -fuzz FuzzTidy -fuzztime $(FUZZTIME) ./internal/tidy/
@@ -58,6 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/query/
 	$(GO) test -run '^$$' -fuzz FuzzTreeDistance -fuzztime $(FUZZTIME) ./internal/mapping/
 	$(GO) test -run '^$$' -fuzz FuzzMinePaths -fuzztime $(FUZZTIME) ./internal/schema/
+	$(GO) test -run '^$$' -fuzz FuzzFoldSubtract -fuzztime $(FUZZTIME) ./internal/schema/
 
 # E1-E5 micro/macro benchmarks plus metrics snapshots of the full batch
 # pipeline (experiment E8 -> BENCH_pipeline.json) and the streaming
@@ -121,12 +123,29 @@ docs-lint:
 chaos:
 	$(GO) test -short -run 'TestChaos|TestBuildStreamCheckpoint' ./internal/core/
 
+# Continuous-operation chaos gate: a seeded template-mutation sweep
+# rewrites ~20% of a site's templates mid-watch; the next cycle must detect
+# every mutated page, emit a drift report matching the pinned golden
+# (internal/watch/testdata/chaos_drift.golden), keep the quarantine budget
+# untouched, and resume cleanly from its state directory after a kill. See
+# ARCHITECTURE.md §7, "Continuous operation".
+chaos-drift:
+	$(GO) test -run TestWatchChaosDrift ./internal/watch/
+
+# Recrawl-cycle snapshot: steady-state (all-304) and 20%-delta watch cycles
+# against the cold full-rebuild baseline, written as BENCH_recrawl.json for
+# the CI bench-regression job.
+bench-recrawl:
+	$(GO) test -run '^$$' -bench BenchmarkRecrawl -benchmem -count 3 \
+		./internal/watch/ | tee /tmp/bench_recrawl.txt
+	$(GO) run ./cmd/benchdiff -parse -out BENCH_recrawl.json /tmp/bench_recrawl.txt
+
 # CI matrix legs: the workflow splits `make check` into three parallel
 # jobs per Go version. Locally, `make check` remains their union.
 ci-test: build vet test
 
-ci-race-chaos: race chaos
+ci-race-chaos: race chaos chaos-drift
 
 ci-fuzz-docs: fuzz docs-lint bench-stream-short
 
-check: build vet test race fuzz docs-lint chaos bench-stream-short
+check: build vet test race fuzz docs-lint chaos chaos-drift bench-stream-short

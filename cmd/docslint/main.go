@@ -1,9 +1,11 @@
 // Command docslint enforces the repository's documentation bar (see
 // ARCHITECTURE.md): every package in the module must carry a package
-// comment, and every exported top-level identifier of the root webrev
+// comment; every exported top-level identifier of the root webrev
 // facade — the API surface users program against — must have a doc
-// comment. It prints one line per violation and exits non-zero when any
-// exist, so `make docs-lint` can gate `make check`.
+// comment; and every exported struct field in internal/core and
+// internal/schema — the types that cross the pipeline boundary and persist
+// to disk — must have one too. It prints one line per violation and exits
+// non-zero when any exist, so `make docs-lint` can gate `make check`.
 //
 // Usage:
 //
@@ -80,9 +82,19 @@ func lint(root string) ([]string, error) {
 	return out, nil
 }
 
+// structFieldDirs lists the package directories (relative to the module
+// root) whose exported struct fields must each carry a doc comment: the
+// config/result types crossing the pipeline boundary and the statistics
+// types that persist to disk.
+var structFieldDirs = []string{
+	filepath.Join("internal", "core"),
+	filepath.Join("internal", "schema"),
+}
+
 // lintDir parses one package directory. All packages need a package
 // comment; the root webrev package additionally needs a doc comment on
-// every exported top-level identifier.
+// every exported top-level identifier; the structFieldDirs packages need
+// one on every exported struct field.
 func lintDir(root, dir string) ([]string, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
@@ -107,8 +119,52 @@ func lintDir(root, dir string) ([]string, error) {
 				out = append(out, lintExported(fset, fname, f)...)
 			}
 		}
+		if rel, err := filepath.Rel(root, dir); err == nil {
+			for _, want := range structFieldDirs {
+				if filepath.Clean(rel) == want {
+					for _, f := range pkg.Files {
+						out = append(out, lintStructFields(fset, f)...)
+					}
+				}
+			}
+		}
 	}
 	return out, nil
+}
+
+// lintStructFields reports exported fields of exported struct types that
+// carry neither a doc comment nor a line comment. Embedded fields are
+// exempt — their documentation lives on the embedded type.
+func lintStructFields(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, fld := range st.Fields.List {
+				if fld.Doc != nil || fld.Comment != nil {
+					continue
+				}
+				for _, n := range fld.Names {
+					if n.IsExported() {
+						out = append(out, fmt.Sprintf("%s: exported field %s.%s has no doc comment",
+							fset.Position(n.Pos()), ts.Name.Name, n.Name))
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // lintExported reports exported top-level identifiers without doc

@@ -76,3 +76,36 @@ func TestLintSkipsTestFilesAndTestdata(t *testing.T) {
 		t.Fatalf("test-only files flagged: %v", got)
 	}
 }
+
+func TestLintStructFields(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "w.go"), "// Package webrev is the facade.\npackage webrev\n")
+	write(t, filepath.Join(dir, "internal", "core", "core.go"),
+		"// Package core is the pipeline.\npackage core\n\n"+
+			"// T crosses the pipeline boundary.\ntype T struct {\n"+
+			"\tBare int\n"+
+			"\t// Documented is fine.\n\tDocumented int\n"+
+			"\tInline int // a line comment counts\n"+
+			"\thidden int\n"+
+			"}\n\n"+
+			"type internalOnly struct{ AlsoBare int }\n")
+	write(t, filepath.Join(dir, "internal", "other", "o.go"),
+		"// Package other is outside the field bar.\npackage other\n\n"+
+			"// S is documented.\ntype S struct{ Bare int }\n")
+
+	got, err := lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "exported field T.Bare has no doc comment") {
+		t.Errorf("missing T.Bare violation in:\n%s", joined)
+	}
+	// Documented/inline-commented, unexported, unexported-struct, and
+	// out-of-scope-package fields all pass.
+	for _, notWant := range []string{"Documented", "Inline", "hidden", "AlsoBare", "S.Bare"} {
+		if strings.Contains(joined, notWant) {
+			t.Errorf("unexpected violation mentioning %q in:\n%s", notWant, joined)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	webrev dtd      [-sup 0.5] [-ratio 0.1] file.html...
 //	webrev build    [-out dir] [-metrics snap.json] [-pprof addr] file.html...
 //	webrev quarantine -dir DIR [list|replay]           # inspect / replay failed documents
+//	webrev watch -seed URL [-checkpoint DIR] [-cycles N] [-interval 15m] [-drift FILE] [-out dir]
 //	webrev experiments [-run E1,...] [-docs N] [-seed N] [-metrics snap.json] [-pprof addr]
 //
 // build and experiments take observability flags: -metrics FILE writes a
@@ -18,19 +19,25 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"webrev/internal/concept"
 	"webrev/internal/core"
+	"webrev/internal/crawler"
 	"webrev/internal/discover"
 	"webrev/internal/dom"
 	"webrev/internal/experiments"
 	"webrev/internal/obs"
 	"webrev/internal/repository"
+	"webrev/internal/watch"
 	"webrev/internal/xmlout"
 )
 
@@ -55,6 +62,8 @@ func main() {
 		err = cmdSuggest(os.Args[2:], os.Stdout)
 	case "quarantine":
 		err = cmdQuarantine(os.Args[2:], os.Stdout)
+	case "watch":
+		err = cmdWatch(os.Args[2:], os.Stdout)
 	case "experiments":
 		err = cmdExperiments(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
@@ -81,7 +90,9 @@ commands:
   query        evaluate a label-path query against a built repository
   suggest      propose new concept instances from unidentified text
   quarantine   list documents a build quarantined, or replay them after a fix
-  experiments  regenerate the paper's evaluation (E1-E10, E12)
+  watch        continuous operation: recrawl a site on a cadence, fold deltas,
+               and report schema drift (state persists in -checkpoint DIR)
+  experiments  regenerate the paper's evaluation (E1-E10, E12, E13)
 
 build and experiments accept -metrics FILE (JSON stage-metrics snapshot)
 and -pprof ADDR (live /debug/pprof + /metrics endpoint).
@@ -388,9 +399,100 @@ func cmdQuarantine(args []string, w io.Writer) error {
 	}
 }
 
+// cmdWatch runs the continuous-operation loop: recrawl the seed site every
+// interval, fold page deltas into the accumulator, rebuild incrementally,
+// and print (and optionally write) each cycle's drift report. With
+// -checkpoint the state survives restarts — a streaming-build checkpoint
+// (`webrev build -out DIR` is not one, but internal/core's BuildStream
+// checkpoint is) migrates into the watch format on first load.
+func cmdWatch(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	seed := fs.String("seed", "", "seed URL every cycle starts from (required)")
+	ckpt := fs.String("checkpoint", "", "state directory persisted after every cycle and resumed on start")
+	cycles := fs.Int("cycles", 0, "cycles to run before exiting (0 = run until interrupted)")
+	interval := fs.Duration("interval", 15*time.Minute, "sleep between cycles")
+	root := fs.String("root", "resume", "root element name")
+	sup := fs.Float64("sup", 0.5, "support threshold")
+	ratio := fs.Float64("ratio", 0.1, "support-ratio threshold")
+	minShift := fs.Float64("min-shift", 0, "support change below which a path is not reported as shifted (0 = default)")
+	topicHits := fs.Int("topic-hits", 3, "concept hits required for a crawled page to join the corpus")
+	driftOut := fs.String("drift", "", "write the latest cycle's drift report JSON to this file (servable via `webrevd -drift`)")
+	out := fs.String("out", "", "export the conformed repository to this directory after every cycle")
+	metricsOut, pprofAddr := obsFlags(fs)
+	fs.Parse(args)
+	if *seed == "" {
+		return fmt.Errorf("usage: webrev watch -seed URL [-checkpoint DIR] [-cycles N] [-interval DUR]")
+	}
+
+	coll := obs.NewCollector()
+	var tr obs.Tracer
+	if *metricsOut != "" || *pprofAddr != "" {
+		tr = coll
+	}
+	p, err := newTracedPipeline(*root, *sup, *ratio, tr)
+	if err != nil {
+		return err
+	}
+	finish, err := startObs(coll, *metricsOut, *pprofAddr, w)
+	if err != nil {
+		return err
+	}
+	watcher, err := watch.New(watch.Options{
+		Pipeline: p,
+		Crawler: &crawler.Crawler{
+			Filter: crawler.ResumeFilter(*topicHits),
+			Fetch:  crawler.FetchPolicy{Revalidate: true},
+			Tracer: tr,
+		},
+		Seed:            *seed,
+		StateDir:        *ckpt,
+		MinSupportShift: *minShift,
+		Tracer:          tr,
+	})
+	if err != nil {
+		return err
+	}
+	if n := watcher.Docs(); n > 0 {
+		fmt.Fprintf(w, "resuming at cycle %d with %d live documents\n", watcher.Cycles(), n)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var emitErr error
+	err = watcher.Run(ctx, *cycles, *interval, func(res *watch.Result) {
+		fmt.Fprintln(w, res.Drift.Summary())
+		if emitErr != nil {
+			return
+		}
+		if *driftOut != "" {
+			data, err := json.MarshalIndent(res.Drift, "", " ")
+			if err != nil {
+				emitErr = err
+				return
+			}
+			if err := os.WriteFile(*driftOut, append(data, '\n'), 0o644); err != nil {
+				emitErr = err
+				return
+			}
+		}
+		if *out != "" {
+			if err := res.Repo.Export().Save(*out); err != nil {
+				emitErr = err
+			}
+		}
+	})
+	if err == nil {
+		err = emitErr
+	}
+	if err != nil {
+		return err
+	}
+	return finish()
+}
+
 func cmdExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10,E12", "comma-separated experiment ids")
+	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10,E12,E13", "comma-separated experiment ids")
 	docs := fs.Int("docs", 0, "override corpus size (0 = per-experiment default)")
 	seed := fs.Int64("seed", 1, "corpus seed")
 	metricsOut, pprofAddr := obsFlags(fs)
@@ -466,6 +568,13 @@ func cmdExperiments(args []string, w io.Writer) error {
 	}
 	if want["E10"] {
 		r, err := experiments.RunFaultTolerance(n(60), []float64{0, 0.1, 0.25, 0.75}, 0, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Report())
+	}
+	if want["E13"] {
+		r, err := experiments.RunDriftDetection(n(40), []float64{0, 0.05, 0.1, 0.2, 0.4}, *seed)
 		if err != nil {
 			return err
 		}

@@ -1,14 +1,21 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"webrev/internal/core"
+	"webrev/internal/corpus"
+	"webrev/internal/crawler"
 	"webrev/internal/obs"
+	"webrev/internal/repository"
+	"webrev/internal/schema"
 )
 
 // writeResume writes a small well-formed resume file and returns its path.
@@ -261,5 +268,69 @@ func TestCmdExperimentsE10(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("E10 output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestCmdWatch(t *testing.T) {
+	g := corpus.New(corpus.Options{Seed: 3})
+	site := crawler.BuildSite(g.Corpus(8), []string{g.Distractor()})
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "state")
+	drift := filepath.Join(dir, "drift.json")
+	repoDir := filepath.Join(dir, "repo")
+	var out strings.Builder
+	err := cmdWatch([]string{
+		"-seed", srv.URL + "/",
+		"-checkpoint", ckpt,
+		"-cycles", "2", "-interval", "0",
+		"-drift", drift, "-out", repoDir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "cycle 1:") || !strings.Contains(got, "cycle 2:") {
+		t.Fatalf("missing cycle summaries:\n%s", got)
+	}
+
+	// The drift file holds the latest cycle's report...
+	blob, err := os.ReadFile(drift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d schema.Drift
+	if err := json.Unmarshal(blob, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != schema.DriftVersion || d.Cycle != 2 {
+		t.Fatalf("drift file version=%d cycle=%d, want %d/2", d.Version, d.Cycle, schema.DriftVersion)
+	}
+	// ...the exported repository loads and serves queries...
+	repo, err := repository.Load(repoDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() == 0 {
+		t.Fatal("exported repository is empty")
+	}
+	// ...and a restarted watch resumes from the checkpoint.
+	out.Reset()
+	err = cmdWatch([]string{
+		"-seed", srv.URL + "/", "-checkpoint", ckpt, "-cycles", "1", "-interval", "0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "resuming at cycle 2") ||
+		!strings.Contains(got, "cycle 3:") {
+		t.Fatalf("restart did not resume from checkpoint:\n%s", got)
+	}
+}
+
+func TestCmdWatchFlagValidation(t *testing.T) {
+	if err := cmdWatch(nil, io.Discard); err == nil {
+		t.Fatal("missing -seed accepted")
 	}
 }

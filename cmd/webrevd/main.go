@@ -34,6 +34,7 @@ import (
 	"webrev/internal/corpus"
 	"webrev/internal/obs"
 	"webrev/internal/repository"
+	"webrev/internal/schema"
 	"webrev/internal/serve"
 )
 
@@ -54,6 +55,7 @@ func run(args []string, w io.Writer) error {
 		sup        = fs.Float64("sup", 0.5, "schema support threshold for -corpus builds")
 		ratio      = fs.Float64("ratio", 0.1, "support-ratio threshold for -corpus builds")
 		maxResults = fs.Int("max-results", 1000, "cap on results rendered per query request")
+		driftFile  = fs.String("drift", "", "publish this drift report (JSON, as written by `webrev watch`) at /api/drift")
 
 		bench     = fs.Bool("bench", false, "run the load-test harness instead of serving")
 		clients   = fs.Int("clients", 64, "concurrent clients in bench mode")
@@ -83,6 +85,14 @@ func run(args []string, w io.Writer) error {
 	})
 	obs.RegisterDebug(srv.Mux(), coll)
 
+	if *driftFile != "" {
+		d, err := loadDrift(*driftFile)
+		if err != nil {
+			return err
+		}
+		srv.SetDrift(d)
+	}
+
 	if *bench {
 		return runBench(w, srv, load, benchConfig{
 			clients:   *clients,
@@ -100,6 +110,24 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "webrevd: serving %d documents, %d paths on %s (gen %d)\n",
 		srv.Snapshot().Docs(), len(srv.Snapshot().Frozen().Paths()), ln.Addr(), srv.Snapshot().Gen())
 	return http.Serve(ln, srv.Handler())
+}
+
+// loadDrift reads a drift report (as `webrev watch -drift FILE` writes it)
+// and rejects versions this build does not understand.
+func loadDrift(path string) (*schema.Drift, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("drift report: %w", err)
+	}
+	d := &schema.Drift{}
+	if err := json.Unmarshal(data, d); err != nil {
+		return nil, fmt.Errorf("drift report %s: %w", path, err)
+	}
+	if d.Version != schema.DriftVersion {
+		return nil, fmt.Errorf("drift report %s: version %d not supported (want %d)",
+			path, d.Version, schema.DriftVersion)
+	}
+	return d, nil
 }
 
 // repoSource returns the loader the server boots from and /api/reload

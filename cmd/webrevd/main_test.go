@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"webrev/internal/obs"
+	"webrev/internal/schema"
 )
 
 func TestRunFlagValidation(t *testing.T) {
@@ -70,5 +73,41 @@ func TestRepoSourceCheckpointRoundTrip(t *testing.T) {
 	}
 	if loaded.Len() != repo.Len() {
 		t.Fatalf("checkpoint round trip: %d docs, want %d", loaded.Len(), repo.Len())
+	}
+}
+
+func TestLoadDrift(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadDrift(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing drift file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDrift(bad); err == nil {
+		t.Fatal("malformed drift file accepted")
+	}
+	future := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(future, []byte(`{"version":99,"cycle":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDrift(future); err == nil {
+		t.Fatal("unknown drift version accepted")
+	}
+	good := filepath.Join(dir, "drift.json")
+	blob, err := json.Marshal(&schema.Drift{Version: schema.DriftVersion, Cycle: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDrift(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cycle != 5 || d.Version != schema.DriftVersion {
+		t.Fatalf("drift round-trip: %+v", d)
 	}
 }

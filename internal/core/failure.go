@@ -139,7 +139,9 @@ func recoverWrap(stage, source string, fn func() error) (rec *FailureRecord) {
 // plus the stable id under which the document's original HTML is kept for
 // replay.
 type QuarantinedDoc struct {
-	ID     string
+	// ID is the stable entry id, derived from the URL and failure time.
+	ID string
+	// Record is the failure that sent the document here.
 	Record FailureRecord
 }
 

@@ -23,7 +23,7 @@ func TestDiscoverSchemaShardInvariance(t *testing.T) {
 	for i, d := range docs {
 		acc.Add(i, p.ExtractPaths(d))
 	}
-	serial := p.mineStats(acc)
+	serial := p.MineStats(acc)
 
 	if !reflect.DeepEqual(parallel, serial) {
 		t.Fatalf("sharded DiscoverSchema diverged from serial fold:\n%s\nvs\n%s", parallel, serial)

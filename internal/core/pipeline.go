@@ -34,9 +34,10 @@ type Config struct {
 	// Convert carries further conversion options (delimiters, tag sets,
 	// classifier). RootName and Constraints above take precedence.
 	Convert convert.Options
-	// SupThreshold and RatioThreshold drive frequent-path mining (defaults
-	// 0.5 and 0.1).
-	SupThreshold   float64
+	// SupThreshold is the frequent-path support threshold (default 0.5).
+	SupThreshold float64
+	// RatioThreshold is the support-ratio threshold below which a path is
+	// pruned relative to its parent (default 0.1).
 	RatioThreshold float64
 	// DTD carries repetition/optionality options.
 	DTD dtd.Options
@@ -166,8 +167,10 @@ func (p *Pipeline) Metrics() *obs.Snapshot {
 // Document is one converted input.
 type Document struct {
 	Source string // identifier: URL, filename, or generator id
-	XML    *dom.Node
-	Stats  convert.Stats
+	// XML is the concept-tagged tree the converter produced.
+	XML *dom.Node
+	// Stats carries the conversion's token and identification counts.
+	Stats convert.Stats
 	// Paths caches the document's label-path representation, extracted at
 	// most once per document (ExtractPaths) and shared by every mine call
 	// and by both the batch and streaming build paths.
@@ -358,14 +361,19 @@ func (p *Pipeline) conformGuarded(d *Document, dt *dtd.DTD) (out *dom.Node, st m
 
 // Repository is the result of the full pipeline over a corpus.
 type Repository struct {
-	Docs   []*Document
+	// Docs holds the converted documents that survived the build.
+	Docs []*Document
+	// Schema is the majority schema mined over Docs.
 	Schema *schema.Schema
-	DTD    *dtd.DTD
+	// DTD is the document type definition derived from Schema.
+	DTD *dtd.DTD
 	// Conformed holds each document after DTD-guided mapping, aligned with
 	// Docs; MapStats records the edits each needed. In a partial build the
 	// two may be shorter than Docs — use MappedDocs for the aligned count.
 	Conformed []*dom.Node
-	MapStats  []mapping.EditStats
+	// MapStats records the edit counts mapping spent per document, aligned
+	// with Conformed.
+	MapStats []mapping.EditStats
 	// Stages holds the per-stage timing aggregates of the build when the
 	// pipeline was configured with a recording tracer (*obs.Collector),
 	// and is nil under the no-op default. Keys are the obs.Stage*
@@ -487,10 +495,13 @@ func (p *Pipeline) unify(s *schema.Schema) *schema.Schema {
 	return s
 }
 
-// mineStats mines accumulated corpus statistics into the majority schema,
+// MineStats mines accumulated corpus statistics into the majority schema,
 // applying the configured unification step — the mining entry point for
-// pre-folded summaries (BuildStream's merged shards, checkpoint resume).
-func (p *Pipeline) mineStats(acc *schema.Accumulator) *schema.Schema {
+// pre-folded summaries (BuildStream's merged shards, checkpoint resume, and
+// the watch loop's persistent delta accumulator). Folding every document
+// into one accumulator in corpus-index order and mining it here is exactly
+// DiscoverSchema over the same documents.
+func (p *Pipeline) MineStats(acc *schema.Accumulator) *schema.Schema {
 	return p.unify(p.miner().DiscoverStats(acc))
 }
 
@@ -598,9 +609,24 @@ func (p *Pipeline) BuildContext(ctx context.Context, sources []Source) (*Reposit
 	repo.Schema = p.DiscoverSchema(repo.Docs)
 	repo.DTD = p.DeriveDTD(repo.Schema)
 
-	// Map every survivor inside the fault boundary. A map-stage failure
-	// quarantines the document: Docs, Conformed, and MapStats are
-	// compacted in lockstep so the three stay aligned.
+	if err := p.mapPhase(ctx, repo, sink); err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return repo, err
+	}
+	return repo, nil
+}
+
+// mapPhase maps every document in repo.Docs to repo.DTD inside the
+// per-document fault boundary and finalizes the repository: Docs, Conformed,
+// and MapStats are compacted in lockstep when a map-stage failure
+// quarantines a document, the failure-sink snapshots and error budget are
+// applied, and the output-bytes counter and stage timings are recorded. It
+// is the shared tail of BuildContext and BuildFromStats. A cancellation
+// error is detectable via ctx.Err(); any other error leaves the partial
+// repository populated for inspection.
+func (p *Pipeline) mapPhase(ctx context.Context, repo *Repository, sink *failureSink) error {
 	conformed := make([]*dom.Node, len(repo.Docs))
 	stats := make([]mapping.EditStats, len(repo.Docs))
 	dropped := make([]bool, len(repo.Docs))
@@ -617,7 +643,7 @@ func (p *Pipeline) BuildContext(ctx context.Context, sources []Source) (*Reposit
 		conformed[i], stats[i] = out, st
 	})
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: build cancelled: %w", err)
+		return fmt.Errorf("core: build cancelled: %w", err)
 	}
 	kept := 0
 	for i := range repo.Docs {
@@ -635,7 +661,7 @@ func (p *Pipeline) BuildContext(ctx context.Context, sources []Source) (*Reposit
 	repo.Quarantined = sink.snapshotQuarantined()
 	repo.Degraded = sink.snapshotDegraded()
 	if err := p.checkBudget(repo, sink); err != nil {
-		return repo, err
+		return err
 	}
 
 	if p.tr.Enabled() {
@@ -648,6 +674,44 @@ func (p *Pipeline) BuildContext(ctx context.Context, sources []Source) (*Reposit
 		p.tr.Add(obs.CtrBytesOut, out)
 	}
 	repo.Stages = obs.StagesOf(p.tr)
+	return nil
+}
+
+// BuildFromStats runs the discover → derive → map tail of the pipeline over
+// already-converted documents whose extraction statistics are pre-folded in
+// acc: the schema is mined from the accumulator (MineStats), the DTD derived
+// from it, and every document mapped to conform under the same fault
+// boundary and error budget as BuildContext.
+//
+// This is the incremental-rebuild engine of the watch loop
+// (internal/watch): after a recrawl cycle retires changed documents'
+// statistics (Accumulator.Subtract) and folds their replacements in, the
+// repository is re-derived here without reconverting the unchanged corpus.
+// Because accumulator folding is exact, a BuildFromStats over an
+// incrementally maintained accumulator is byte-identical to a cold
+// BuildContext over the same final corpus state.
+//
+// The docs slice is not retained; quarantine compaction operates on a copy.
+func (p *Pipeline) BuildFromStats(ctx context.Context, docs []*Document, acc *schema.Accumulator) (*Repository, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	if acc.Docs() != len(docs) {
+		return nil, fmt.Errorf("core: accumulator folds %d documents, corpus has %d", acc.Docs(), len(docs))
+	}
+	sink, err := p.openFailureSink()
+	if err != nil {
+		return nil, err
+	}
+	repo := &Repository{Docs: append([]*Document(nil), docs...), TotalInput: len(docs)}
+	repo.Schema = p.MineStats(acc)
+	repo.DTD = p.DeriveDTD(repo.Schema)
+	if err := p.mapPhase(ctx, repo, sink); err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return repo, err
+	}
 	return repo, nil
 }
 
@@ -666,8 +730,22 @@ func (p *Pipeline) checkBudget(repo *Repository, sink *failureSink) error {
 
 // Source is one named HTML input.
 type Source struct {
+	// Name identifies the document (a URL for acquired corpora); it becomes
+	// Document.Source and the repository key.
 	Name string
+	// HTML is the raw page markup.
 	HTML string
+}
+
+// ConvertSource converts one source under the same per-document fault
+// boundary as BuildContext: a panic, per-document deadline overrun, or
+// injected fault comes back as the failed record (document nil) instead of
+// propagating; a conversion degraded by Config.Limits comes back with the
+// degraded record alongside the (truncated) document. This is the
+// single-document entry point the watch loop (internal/watch) uses to fold
+// changed pages without rebuilding the corpus.
+func (p *Pipeline) ConvertSource(s Source) (d *Document, degraded, failed *FailureRecord) {
+	return p.convertGuarded(s.Name, s.HTML)
 }
 
 // BuildRepository runs the complete pipeline and stores every conformed

@@ -291,7 +291,7 @@ feed:
 		}
 	}
 	sp.End()
-	repo.Schema = p.mineStats(merged)
+	repo.Schema = p.MineStats(merged)
 	repo.DTD = p.DeriveDTD(repo.Schema)
 
 	// Map every survivor inside the fault boundary; a map-stage failure

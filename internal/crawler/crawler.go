@@ -17,6 +17,8 @@ package crawler
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,8 +34,13 @@ import (
 	"webrev/internal/obs"
 )
 
-// Site is an in-memory website. Paths map to HTML bodies.
+// Site is an in-memory website. Paths map to HTML bodies. Pages may be
+// mutated while the site is being served (SetPage/RemovePage are
+// goroutine-safe), which is how chaos tests shift templates under a running
+// watch loop; the handler serves strong ETags derived from each body and
+// honors If-None-Match, so conditional recrawls exercise real 304s.
 type Site struct {
+	mu    sync.RWMutex
 	pages map[string]string
 }
 
@@ -79,14 +86,70 @@ func BuildSite(resumes []*corpus.Resume, distractors []string) *Site {
 }
 
 // PageCount returns the number of pages the site serves.
-func (s *Site) PageCount() int { return len(s.pages) }
+func (s *Site) PageCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
 
-// Handler serves the site.
+// Page returns the body served at path, if any.
+func (s *Site) Page(path string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	body, ok := s.pages[path]
+	return body, ok
+}
+
+// SetPage installs or replaces the body served at path. Safe to call while
+// the site is being served; the page's ETag changes with the body.
+func (s *Site) SetPage(path, body string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages[path] = body
+}
+
+// RemovePage deletes the page served at path, so subsequent fetches 404 —
+// how tests make documents vanish mid-watch.
+func (s *Site) RemovePage(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pages, path)
+}
+
+// Paths returns every served path in sorted order.
+func (s *Site) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pages))
+	for p := range s.pages {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// siteETag derives the strong entity tag the site serves for a body.
+func siteETag(body string) string {
+	sum := sha256.Sum256([]byte(body))
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
+}
+
+// Handler serves the site with conditional-request support: every page
+// carries a strong content-derived ETag and a matching If-None-Match comes
+// back 304 without a body.
 func (s *Site) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
 		body, ok := s.pages[r.URL.Path]
+		s.mu.RUnlock()
 		if !ok {
 			http.NotFound(w, r)
+			return
+		}
+		etag := siteETag(body)
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -102,6 +165,11 @@ type Page struct {
 	// Truncated is set when the body was clipped at
 	// FetchPolicy.MaxBodyBytes.
 	Truncated bool
+	// Change classifies the page against the previous cycle's CrawlState.
+	// Plain crawls (CrawlTo/CrawlContext) always report ChangeFetched;
+	// recrawls (RecrawlTo) report unchanged/changed/new/vanished. Unchanged
+	// and vanished pages carry no HTML.
+	Change Change
 }
 
 // Crawler is a breadth-first, level-parallel crawler with a topical filter.
@@ -162,6 +230,35 @@ func (c *Crawler) CrawlContext(ctx context.Context, seed string) ([]Page, *Repor
 // itself; no unbounded page buffer forms anywhere. The crawl-and-build path
 // (AcquireStream + BuildStream in core) is built on this.
 func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*Report, error) {
+	return c.crawl(ctx, seed, nil, emit)
+}
+
+// RecrawlTo revisits a site against the previous cycle's CrawlState,
+// classifying every page instead of just fetching it. Pages with a prior
+// PageRecord are refetched conditionally (when the fetch policy
+// revalidates) and compared by content hash: a 304 or an identical hash
+// emits ChangeUnchanged with no body, a different body emits ChangeChanged,
+// and unrecorded URLs emit ChangeNew. Unchanged pages reuse the recorded
+// link set to keep driving the breadth-first frontier, and the recorded
+// topical verdict (the filter never sees a body that was not transferred).
+//
+// After a crawl that ran to completion — not canceled, not stopped by the
+// error budget, page cap or depth cap — recorded URLs that were neither
+// revisited nor merely skipped are retired: removed from state and emitted
+// as ChangeVanished (sorted by URL, after all fetched pages). A URL whose
+// refetch failed transiently keeps its record and is NOT retired; only a
+// permanent http-4xx retires early. state is mutated in place to describe
+// the new cycle; the caller persists it between cycles.
+func (c *Crawler) RecrawlTo(ctx context.Context, seed string, state *CrawlState, emit func(Page)) (*Report, error) {
+	if state == nil {
+		state = NewCrawlState()
+	}
+	return c.crawl(ctx, seed, state, emit)
+}
+
+// crawl is the breadth-first loop behind CrawlTo (state == nil) and
+// RecrawlTo (state != nil).
+func (c *Crawler) crawl(ctx context.Context, seed string, state *CrawlState, emit func(Page)) (*Report, error) {
 	start := time.Now()
 	workers := c.Workers
 	if workers <= 0 {
@@ -190,6 +287,15 @@ func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*R
 	rng := newLockedRand(policy.JitterSeed)
 	rep := &Report{ErrorClasses: make(map[string]int)}
 
+	// Recrawl bookkeeping: which recorded URLs were revisited this cycle,
+	// and how the rest failed — the inputs to the vanished classification.
+	var seen map[string]bool
+	var failedClass map[string]string
+	if state != nil {
+		seen = make(map[string]bool)
+		failedClass = make(map[string]string)
+	}
+
 	seedURL, err := url.Parse(seed)
 	if err != nil {
 		rep.Wall = time.Since(start)
@@ -207,7 +313,7 @@ func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*R
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobs {
-				*j.res = policy.fetch(ctx, client, j.url, rng)
+				*j.res = policy.fetch(ctx, client, j.url, rng, j.cond)
 				j.wg.Done()
 			}
 		}()
@@ -269,7 +375,13 @@ func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*R
 			var wwg sync.WaitGroup
 			wwg.Add(len(batch))
 			for i, u := range batch {
-				jobs <- fetchJob{res: &results[i], url: u, wg: &wwg}
+				var cond condValidators
+				if state != nil {
+					if rec := state.Pages[u]; rec != nil {
+						cond = condValidators{etag: rec.ETag, lastModified: rec.LastModified}
+					}
+				}
+				jobs <- fetchJob{res: &results[i], url: u, cond: cond, wg: &wwg}
 				if i == workers-1 {
 					// The first wave of this window is in flight; deliver
 					// the previous window's pages while it fetches. Later
@@ -291,6 +403,30 @@ func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*R
 					}
 					rep.Failed++
 					rep.ErrorClasses[res.class]++
+					rep.Errors = append(rep.Errors, FetchError{
+						URL: res.url, Class: res.class,
+						Attempts: res.attempts, Err: res.err.Error()})
+					if failedClass != nil {
+						failedClass[res.url] = res.class
+					}
+					continue
+				}
+				if res.notModified {
+					// Validators are only sent for recorded pages, so the
+					// record exists; the cached copy is current. The filter
+					// never sees a body that was not transferred — the
+					// recorded verdict stands.
+					rec := state.Pages[res.url]
+					rep.NotModified++
+					seen[res.url] = true
+					pending = append(pending, Page{URL: res.url, OnTopic: rec.OnTopic,
+						Truncated: rec.Truncated, Change: ChangeUnchanged})
+					for _, u := range rec.Links {
+						if !visited[u] {
+							visited[u] = true
+							next = append(next, u)
+						}
+					}
 					continue
 				}
 				rep.Fetched++
@@ -304,22 +440,32 @@ func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*R
 				} else {
 					p.OnTopic = true
 				}
-				pending = append(pending, p)
-				base, err := url.Parse(res.url)
-				if err != nil {
-					continue
+				var links []string
+				if base, err := url.Parse(res.url); err == nil {
+					links = resolveLinks(base, seedURL, ExtractLinks(res.body))
 				}
-				for _, link := range ExtractLinks(res.body) {
-					ref, err := url.Parse(link)
-					if err != nil {
-						continue
+				if state != nil {
+					sum := sha256.Sum256([]byte(res.body))
+					hash := hex.EncodeToString(sum[:])
+					seen[res.url] = true
+					if rec := state.Pages[res.url]; rec == nil {
+						p.Change = ChangeNew
+					} else if rec.Hash == hash {
+						// The server refetched (no validators, or it ignored
+						// them) but the content is identical: still
+						// unchanged, and the caller's copy is current.
+						p.Change = ChangeUnchanged
+						p.HTML = ""
+					} else {
+						p.Change = ChangeChanged
 					}
-					abs := base.ResolveReference(ref)
-					if abs.Host != seedURL.Host || abs.Scheme != seedURL.Scheme {
-						continue // stay on site, like the topical crawler
-					}
-					abs.Fragment = ""
-					u := abs.String()
+					state.Pages[res.url] = &PageRecord{URL: res.url,
+						ETag: res.etag, LastModified: res.lastModified,
+						Hash: hash, OnTopic: p.OnTopic,
+						Truncated: res.truncated, Links: links}
+				}
+				pending = append(pending, p)
+				for _, u := range links {
 					if !visited[u] {
 						visited[u] = true
 						next = append(next, u)
@@ -341,6 +487,30 @@ func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*R
 	// Deliver the last window's pages; every successfully fetched page is
 	// emitted even when the crawl stopped early.
 	flush()
+	// Vanished detection runs only when the crawl ran to completion: a
+	// canceled, budget-stopped or cap-truncated crawl cannot distinguish "no
+	// longer reachable" from "never reached this cycle", and must not retire
+	// anything. Transient failures keep their records (the stale copy keeps
+	// being served); only a permanent http-4xx, a page no index links to
+	// anymore, or a page unreachable from the seed retires a record.
+	if state != nil && !rep.Canceled && !rep.BudgetExhausted && rep.Skipped == 0 {
+		var gone []string
+		for u := range state.Pages {
+			if seen[u] {
+				continue
+			}
+			if class, ok := failedClass[u]; ok && class != ClassHTTP4xx {
+				continue
+			}
+			gone = append(gone, u)
+		}
+		sort.Strings(gone)
+		for _, u := range gone {
+			delete(state.Pages, u)
+			rep.Vanished++
+			emit(Page{URL: u, Change: ChangeVanished})
+		}
+	}
 	rep.Wall = time.Since(start)
 	rep.Record(c.Tracer)
 	if rep.Canceled {
@@ -351,9 +521,37 @@ func (c *Crawler) CrawlTo(ctx context.Context, seed string, emit func(Page)) (*R
 
 // fetchJob is one unit of work for the crawl's fixed worker pool.
 type fetchJob struct {
-	res *fetchResult
-	url string
-	wg  *sync.WaitGroup
+	res  *fetchResult
+	url  string
+	cond condValidators
+	wg   *sync.WaitGroup
+}
+
+// resolveLinks resolves a page's hrefs against its own URL and keeps the
+// same-site ones (the topical crawler never leaves the seed's host), in
+// document order, deduplicated. The result both drives the breadth-first
+// frontier and is recorded per page so a 304'd index page can still expand
+// the frontier on the next cycle.
+func resolveLinks(base, seedURL *url.URL, hrefs []string) []string {
+	var out []string
+	dedup := make(map[string]bool, len(hrefs))
+	for _, link := range hrefs {
+		ref, err := url.Parse(link)
+		if err != nil {
+			continue
+		}
+		abs := base.ResolveReference(ref)
+		if abs.Host != seedURL.Host || abs.Scheme != seedURL.Scheme {
+			continue
+		}
+		abs.Fragment = ""
+		u := abs.String()
+		if !dedup[u] {
+			dedup[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // ExtractLinks returns the href values of anchor elements in document order.

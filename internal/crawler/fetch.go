@@ -61,6 +61,14 @@ type FetchPolicy struct {
 	// delays (default 1). Crawls with the same seed and the same fetch
 	// outcomes back off identically, which keeps tests reproducible.
 	JitterSeed int64
+	// Revalidate enables conditional refetching: when a recrawl
+	// (Crawler.RecrawlTo) holds a prior PageRecord for a URL, its ETag and
+	// Last-Modified validators are sent as If-None-Match/If-Modified-Since
+	// and a 304 response classifies the page as unchanged without a body
+	// transfer. Content hashing still detects changes when the server
+	// ignores the validators, so Revalidate is purely a bandwidth
+	// optimization and safe to leave on.
+	Revalidate bool
 }
 
 func (p FetchPolicy) withDefaults() FetchPolicy {
@@ -88,6 +96,13 @@ func (p FetchPolicy) withDefaults() FetchPolicy {
 	return p
 }
 
+// condValidators carries the cached HTTP validators a conditional refetch
+// presents to the server.
+type condValidators struct {
+	etag         string // sent as If-None-Match
+	lastModified string // sent as If-Modified-Since
+}
+
 // fetchResult is the outcome of fetching one URL, successful or not.
 type fetchResult struct {
 	url       string
@@ -95,23 +110,33 @@ type fetchResult struct {
 	bytes     int64
 	truncated bool
 	attempts  int
-	err       error
-	class     string // error class, set when err != nil
+	// notModified is set when a conditional request came back 304: the
+	// cached copy is current and body is empty.
+	notModified bool
+	// etag and lastModified capture the response validators of a 200, for
+	// the next cycle's conditional request.
+	etag         string
+	lastModified string
+	err          error
+	class        string // error class, set when err != nil
 }
 
 // fetch retrieves u under the policy: up to 1+MaxRetries attempts, each
 // bounded by Timeout, with backoff between attempts for transient errors.
 // The policy must already have defaults applied.
-func (p FetchPolicy) fetch(ctx context.Context, client *http.Client, u string, rng *lockedRand) fetchResult {
+func (p FetchPolicy) fetch(ctx context.Context, client *http.Client, u string, rng *lockedRand, cond condValidators) fetchResult {
 	res := fetchResult{url: u}
 	for attempt := 0; ; attempt++ {
 		res.attempts = attempt + 1
-		body, n, truncated, class, err := p.attempt(ctx, client, u)
-		if err == nil {
-			res.body, res.bytes, res.truncated = body, n, truncated
+		a := p.attempt(ctx, client, u, cond)
+		if a.err == nil {
+			res.body, res.bytes, res.truncated = a.body, a.n, a.truncated
+			res.notModified = a.notModified
+			res.etag, res.lastModified = a.etag, a.lastModified
 			res.err, res.class = nil, ""
 			return res
 		}
+		class, err := a.class, a.err
 		if ctx.Err() != nil {
 			// The crawl itself was canceled or timed out; don't misreport
 			// that as a fetch failure of this URL.
@@ -129,37 +154,68 @@ func (p FetchPolicy) fetch(ctx context.Context, client *http.Client, u string, r
 	}
 }
 
-// attempt performs a single bounded request and classifies any error.
-func (p FetchPolicy) attempt(ctx context.Context, client *http.Client, u string) (body string, n int64, truncated bool, class string, err error) {
+// attemptResult is the outcome of one bounded request.
+type attemptResult struct {
+	body         string
+	n            int64
+	truncated    bool
+	notModified  bool
+	etag         string
+	lastModified string
+	class        string
+	err          error
+}
+
+// attempt performs a single bounded request and classifies any error. When
+// the policy revalidates and cond carries validators, the request is
+// conditional and a 304 comes back as notModified instead of a body.
+func (p FetchPolicy) attempt(ctx context.Context, client *http.Client, u string, cond condValidators) attemptResult {
 	actx, cancel := context.WithTimeout(ctx, p.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, u, nil)
 	if err != nil {
-		return "", 0, false, ClassNetwork, err
+		return attemptResult{class: ClassNetwork, err: err}
+	}
+	conditional := false
+	if p.Revalidate {
+		if cond.etag != "" {
+			req.Header.Set("If-None-Match", cond.etag)
+			conditional = true
+		}
+		if cond.lastModified != "" {
+			req.Header.Set("If-Modified-Since", cond.lastModified)
+			conditional = true
+		}
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return "", 0, false, classifyTransport(err), err
+		return attemptResult{class: classifyTransport(err), err: err}
 	}
 	defer resp.Body.Close()
+	if conditional && resp.StatusCode == http.StatusNotModified {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return attemptResult{notModified: true}
+	}
 	if resp.StatusCode != http.StatusOK {
 		// Drain a little so the connection can be reused.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return "", 0, false, classifyStatus(resp.StatusCode),
-			fmt.Errorf("status %d", resp.StatusCode)
+		return attemptResult{class: classifyStatus(resp.StatusCode),
+			err: fmt.Errorf("status %d", resp.StatusCode)}
 	}
 	buf, err := io.ReadAll(io.LimitReader(resp.Body, p.MaxBodyBytes+1))
 	if err != nil {
 		if c := classifyTransport(err); c == ClassTimeout {
-			return "", 0, false, c, fmt.Errorf("reading body: %w", err)
+			return attemptResult{class: c, err: fmt.Errorf("reading body: %w", err)}
 		}
-		return "", 0, false, ClassBody, fmt.Errorf("reading body: %w", err)
+		return attemptResult{class: ClassBody, err: fmt.Errorf("reading body: %w", err)}
 	}
+	truncated := false
 	if int64(len(buf)) > p.MaxBodyBytes {
 		buf = buf[:p.MaxBodyBytes]
 		truncated = true
 	}
-	return string(buf), int64(len(buf)), truncated, "", nil
+	return attemptResult{body: string(buf), n: int64(len(buf)), truncated: truncated,
+		etag: resp.Header.Get("ETag"), lastModified: resp.Header.Get("Last-Modified")}
 }
 
 func classifyStatus(code int) string {

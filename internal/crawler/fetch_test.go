@@ -31,7 +31,7 @@ func TestFetchRetriesTransient5xx(t *testing.T) {
 		w.Write([]byte("ok"))
 	}))
 	defer srv.Close()
-	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.err != nil {
 		t.Fatalf("fetch failed: %v (class %s)", res.err, res.class)
 	}
@@ -50,7 +50,7 @@ func TestFetchRetries429(t *testing.T) {
 		w.Write([]byte("ok"))
 	}))
 	defer srv.Close()
-	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.err != nil || res.attempts != 2 {
 		t.Fatalf("err %v attempts %d", res.err, res.attempts)
 	}
@@ -63,7 +63,7 @@ func TestFetchDoesNotRetryPermanent4xx(t *testing.T) {
 		http.NotFound(w, r)
 	}))
 	defer srv.Close()
-	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.err == nil || res.class != ClassHTTP4xx {
 		t.Fatalf("err %v class %s, want http-4xx", res.err, res.class)
 	}
@@ -80,7 +80,7 @@ func TestFetchGivesUpAfterMaxRetries(t *testing.T) {
 	}))
 	defer srv.Close()
 	p := testPolicy()
-	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.err == nil || res.class != ClassHTTP5xx {
 		t.Fatalf("err %v class %s, want http-5xx", res.err, res.class)
 	}
@@ -97,7 +97,7 @@ func TestFetchTimeoutOnHangingServer(t *testing.T) {
 	p := FetchPolicy{Timeout: 50 * time.Millisecond, MaxRetries: 1,
 		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond}.withDefaults()
 	start := time.Now()
-	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.err == nil || res.class != ClassTimeout {
 		t.Fatalf("err %v class %s, want timeout", res.err, res.class)
 	}
@@ -115,7 +115,7 @@ func TestFetchNetworkErrorClass(t *testing.T) {
 	u := srv.URL
 	srv.Close()
 	p := testPolicy()
-	res := p.fetch(context.Background(), http.DefaultClient, u, newLockedRand(1))
+	res := p.fetch(context.Background(), http.DefaultClient, u, newLockedRand(1), condValidators{})
 	if res.err == nil || res.class != ClassNetwork {
 		t.Fatalf("err %v class %s, want network", res.err, res.class)
 	}
@@ -132,7 +132,7 @@ func TestFetchTruncatesOversizedBody(t *testing.T) {
 	defer srv.Close()
 	p := testPolicy()
 	p.MaxBodyBytes = 1024
-	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	res := p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.err != nil {
 		t.Fatal(res.err)
 	}
@@ -142,7 +142,7 @@ func TestFetchTruncatesOversizedBody(t *testing.T) {
 
 	// Under the cap: not flagged.
 	p.MaxBodyBytes = int64(len(big))
-	res = p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	res = p.fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.err != nil || res.truncated {
 		t.Fatalf("err %v truncated=%v for body exactly at cap", res.err, res.truncated)
 	}
@@ -159,7 +159,7 @@ func TestFetchRetriesTruncatedBodyRead(t *testing.T) {
 		w.Write([]byte("complete"))
 	}))
 	defer srv.Close()
-	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1))
+	res := testPolicy().fetch(context.Background(), srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.err != nil {
 		t.Fatalf("fetch failed: %v (class %s)", res.err, res.class)
 	}
@@ -178,7 +178,7 @@ func TestFetchCanceledContext(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		cancel()
 	}()
-	res := testPolicy().fetch(ctx, srv.Client(), srv.URL, newLockedRand(1))
+	res := testPolicy().fetch(ctx, srv.Client(), srv.URL, newLockedRand(1), condValidators{})
 	if res.class != ClassCanceled {
 		t.Fatalf("class %s, want canceled", res.class)
 	}

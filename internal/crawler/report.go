@@ -28,6 +28,12 @@ type Report struct {
 	// Truncated counts pages whose bodies were clipped at
 	// FetchPolicy.MaxBodyBytes.
 	Truncated int
+	// NotModified counts conditional refetches answered 304 (recrawls
+	// only): pages revalidated without a body transfer.
+	NotModified int
+	// Vanished counts records retired by a completed recrawl (see
+	// Crawler.RecrawlTo).
+	Vanished int
 	// Bytes is the total body bytes kept.
 	Bytes int64
 	// Wall is the crawl's wall-clock duration.
@@ -40,6 +46,23 @@ type Report struct {
 	BudgetExhausted bool
 	// Canceled is set when the crawl's context ended before completion.
 	Canceled bool
+	// Errors lists each permanently failed URL with its error class, in
+	// fetch order — the recrawl's vanished classification needs to tell a
+	// 404 (retire the record) from a timeout (keep serving the stale copy),
+	// and operators need to know which URLs are failing, not just how many.
+	Errors []FetchError
+}
+
+// FetchError records one URL's permanent fetch failure.
+type FetchError struct {
+	// URL is the failed URL.
+	URL string `json:"url"`
+	// Class is the error class (ClassNetwork, ClassHTTP4xx, ...).
+	Class string `json:"class"`
+	// Attempts is how many fetch attempts were made, retries included.
+	Attempts int `json:"attempts"`
+	// Err is the final attempt's error text.
+	Err string `json:"err"`
 }
 
 // Record bridges the report into the pipeline's metrics model: the crawl's
@@ -58,6 +81,8 @@ func (r *Report) Record(tr obs.Tracer) {
 	tr.Add(obs.CtrCrawlRetried, int64(r.Retried))
 	tr.Add(obs.CtrCrawlSkipped, int64(r.Skipped))
 	tr.Add(obs.CtrCrawlTruncated, int64(r.Truncated))
+	tr.Add(obs.CtrCrawlNotModified, int64(r.NotModified))
+	tr.Add(obs.CtrCrawlVanished, int64(r.Vanished))
 	tr.Add(obs.CtrCrawlBytes, r.Bytes)
 	for class, n := range r.ErrorClasses {
 		tr.Add("crawl.errors."+class, int64(n))
@@ -71,6 +96,12 @@ func (r *Report) String() string {
 		r.Fetched, r.Failed, r.Retried, r.Skipped)
 	if r.Truncated > 0 {
 		fmt.Fprintf(&b, ", truncated %d", r.Truncated)
+	}
+	if r.NotModified > 0 {
+		fmt.Fprintf(&b, ", not-modified %d", r.NotModified)
+	}
+	if r.Vanished > 0 {
+		fmt.Fprintf(&b, ", vanished %d", r.Vanished)
 	}
 	fmt.Fprintf(&b, "; %d bytes in %v", r.Bytes, r.Wall.Round(time.Millisecond))
 	if len(r.ErrorClasses) > 0 {

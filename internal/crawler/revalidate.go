@@ -1,0 +1,90 @@
+package crawler
+
+// Conditional-recrawl state: the watch loop (internal/watch) revisits a
+// site every cycle, and the crawler classifies each page against the
+// previous cycle instead of refetching the world. The per-URL PageRecord
+// holds the HTTP validators (ETag, Last-Modified) for conditional requests,
+// a content hash as the server-independent fallback, the recorded topical
+// verdict, and the page's outgoing links so a 304'd index page still drives
+// the breadth-first frontier. CrawlState is plain JSON and is embedded in
+// the watch loop's versioned state manifest.
+
+// Change classifies one page of a recrawl cycle against the previous
+// cycle's CrawlState.
+type Change int
+
+const (
+	// ChangeFetched is the zero value: a plain crawl with no prior state.
+	ChangeFetched Change = iota
+	// ChangeUnchanged means the cached copy is current — the server
+	// answered 304, or the refetched body hashed identically. The page
+	// carries no HTML.
+	ChangeUnchanged
+	// ChangeChanged means the page's content differs from the recorded
+	// hash; the new body is attached.
+	ChangeChanged
+	// ChangeNew means the URL had no record — first seen this cycle.
+	ChangeNew
+	// ChangeVanished means a recorded URL is gone: permanently 4xx, no
+	// longer linked, or unreachable — emitted only by recrawls that ran to
+	// completion. The page carries no HTML.
+	ChangeVanished
+)
+
+// String names the classification for reports and logs.
+func (c Change) String() string {
+	switch c {
+	case ChangeFetched:
+		return "fetched"
+	case ChangeUnchanged:
+		return "unchanged"
+	case ChangeChanged:
+		return "changed"
+	case ChangeNew:
+		return "new"
+	case ChangeVanished:
+		return "vanished"
+	}
+	return "unknown"
+}
+
+// PageRecord is the per-URL state one recrawl cycle hands the next.
+type PageRecord struct {
+	// URL is the page's absolute URL.
+	URL string `json:"url"`
+	// ETag is the entity tag of the last 200 response, sent back as
+	// If-None-Match when the fetch policy revalidates.
+	ETag string `json:"etag,omitempty"`
+	// LastModified is the Last-Modified header of the last 200 response,
+	// sent back as If-Modified-Since.
+	LastModified string `json:"last_modified,omitempty"`
+	// Hash is the hex SHA-256 of the last transferred body — the change
+	// detector of last resort when the server has no usable validators.
+	Hash string `json:"hash"`
+	// OnTopic is the topical filter's verdict on the last transferred
+	// body; reused for 304s, which carry no body to re-classify.
+	OnTopic bool `json:"on_topic,omitempty"`
+	// Truncated records whether the last transferred body was clipped at
+	// FetchPolicy.MaxBodyBytes.
+	Truncated bool `json:"truncated,omitempty"`
+	// Links holds the page's outgoing same-site absolute URLs in document
+	// order, so an unchanged page still expands the frontier.
+	Links []string `json:"links,omitempty"`
+}
+
+// CrawlState is the persistent between-cycles state of a recrawled site:
+// one PageRecord per known URL. It marshals deterministically (JSON object
+// keys sort) and is mutated in place by RecrawlTo.
+type CrawlState struct {
+	// Pages maps each known URL to its record.
+	Pages map[string]*PageRecord `json:"pages"`
+}
+
+// NewCrawlState returns an empty crawl state; the first recrawl against it
+// classifies every page as new.
+func NewCrawlState() *CrawlState {
+	return &CrawlState{Pages: make(map[string]*PageRecord)}
+}
+
+// Len returns the number of recorded URLs.
+func (s *CrawlState) Len() int { return len(s.Pages) }

@@ -1,0 +1,269 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"webrev/internal/corpus"
+)
+
+func recrawl(t *testing.T, c *Crawler, seed string, state *CrawlState) (map[string]Change, *Report) {
+	t.Helper()
+	changes := make(map[string]Change)
+	rep, err := c.RecrawlTo(context.Background(), seed, state, func(p Page) {
+		changes[p.URL] = p.Change
+	})
+	if err != nil {
+		t.Fatalf("recrawl: %v", err)
+	}
+	return changes, rep
+}
+
+func countChanges(m map[string]Change) map[Change]int {
+	out := make(map[Change]int)
+	for _, c := range m {
+		out[c]++
+	}
+	return out
+}
+
+// TestRecrawlClassification drives the full unchanged/changed/new/vanished
+// lifecycle against a mutating in-memory site with real conditional
+// requests.
+func TestRecrawlClassification(t *testing.T) {
+	g := corpus.New(corpus.Options{Seed: 5})
+	site := BuildSite(g.Corpus(8), []string{g.Distractor()})
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	c := &Crawler{Client: srv.Client(), Filter: ResumeFilter(3),
+		Fetch: FetchPolicy{Revalidate: true, MaxRetries: -1}}
+	state := NewCrawlState()
+
+	// Cycle 1: empty state — everything is new.
+	changes, rep := recrawl(t, c, srv.URL+"/", state)
+	n := len(changes)
+	if n == 0 || countChanges(changes)[ChangeNew] != n {
+		t.Fatalf("first cycle: want all %d pages new, got %v", n, countChanges(changes))
+	}
+	if rep.NotModified != 0 {
+		t.Fatalf("first cycle reported %d not-modified", rep.NotModified)
+	}
+	if state.Len() != n {
+		t.Fatalf("state has %d records, crawl saw %d pages", state.Len(), n)
+	}
+
+	// Cycle 2: nothing moved — everything revalidates via 304, no bodies.
+	changes, rep = recrawl(t, c, srv.URL+"/", state)
+	if countChanges(changes)[ChangeUnchanged] != n {
+		t.Fatalf("second cycle: want all %d unchanged, got %v", n, countChanges(changes))
+	}
+	if rep.NotModified != n || rep.Fetched != 0 || rep.Bytes != 0 {
+		t.Fatalf("second cycle: want %d 304s and no transfers, got not-modified %d fetched %d bytes %d",
+			n, rep.NotModified, rep.Fetched, rep.Bytes)
+	}
+
+	// Cycle 3: one page mutated, one removed (404s), one added and linked
+	// from the root.
+	mutated := srv.URL + "/resumes/1.html"
+	body, ok := site.Page("/resumes/1.html")
+	if !ok {
+		t.Fatal("resume 1 missing from site")
+	}
+	site.SetPage("/resumes/1.html", strings.Replace(body, "<body>", "<body><h1>Revised</h1>", 1))
+	site.RemovePage("/resumes/2.html")
+	site.SetPage("/extra.html", "<html><body><h1>Extra</h1></body></html>")
+	root, _ := site.Page("/")
+	site.SetPage("/", strings.Replace(root, "</ul>", `<li><a href="/extra.html">extra</a></li></ul>`, 1))
+
+	changes, rep = recrawl(t, c, srv.URL+"/", state)
+	if got := changes[mutated]; got != ChangeChanged {
+		t.Errorf("mutated page classified %v, want changed", got)
+	}
+	if got := changes[srv.URL+"/extra.html"]; got != ChangeNew {
+		t.Errorf("added page classified %v, want new", got)
+	}
+	if got := changes[srv.URL+"/resumes/2.html"]; got != ChangeVanished {
+		t.Errorf("removed page classified %v, want vanished", got)
+	}
+	// The root changed too (its link list did).
+	if got := changes[srv.URL+"/"]; got != ChangeChanged {
+		t.Errorf("root classified %v, want changed", got)
+	}
+	if rep.Vanished != 1 {
+		t.Errorf("report vanished = %d, want 1", rep.Vanished)
+	}
+	if _, ok := state.Pages[srv.URL+"/resumes/2.html"]; ok {
+		t.Error("vanished page still recorded in state")
+	}
+	if _, ok := state.Pages[srv.URL+"/extra.html"]; !ok {
+		t.Error("new page not recorded in state")
+	}
+}
+
+// TestRecrawlHashFallback disables revalidation: every page refetches, but
+// identical content still classifies as unchanged via the content hash.
+func TestRecrawlHashFallback(t *testing.T) {
+	g := corpus.New(corpus.Options{Seed: 7})
+	site := BuildSite(g.Corpus(5), nil)
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	c := &Crawler{Client: srv.Client(), Fetch: FetchPolicy{Revalidate: false, MaxRetries: -1}}
+	state := NewCrawlState()
+	recrawl(t, c, srv.URL+"/", state)
+	changes, rep := recrawl(t, c, srv.URL+"/", state)
+	if rep.NotModified != 0 {
+		t.Fatalf("revalidation disabled but %d 304s reported", rep.NotModified)
+	}
+	if rep.Fetched == 0 {
+		t.Fatal("no pages refetched")
+	}
+	if got := countChanges(changes); got[ChangeUnchanged] != len(changes) {
+		t.Fatalf("want all unchanged via hash, got %v", got)
+	}
+	for u, p := range state.Pages {
+		if p.Hash == "" {
+			t.Fatalf("record %s has no content hash", u)
+		}
+	}
+}
+
+// TestRecrawlTransientFailureKeepsRecord: a URL failing with a 5xx is not
+// vanished — its stale record survives for the next cycle — while the
+// failure is itemized in Report.Errors.
+func TestRecrawlTransientFailureKeepsRecord(t *testing.T) {
+	g := corpus.New(corpus.Options{Seed: 9})
+	site := BuildSite(g.Corpus(4), nil)
+	broken := ""
+	h := site.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == broken {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := &Crawler{Client: srv.Client(), Fetch: FetchPolicy{Revalidate: true, MaxRetries: -1}}
+	state := NewCrawlState()
+	recrawl(t, c, srv.URL+"/", state)
+
+	broken = "/resumes/1.html"
+	changes, rep := recrawl(t, c, srv.URL+"/", state)
+	if got, ok := changes[srv.URL+broken]; ok {
+		t.Errorf("transiently failing page emitted as %v", got)
+	}
+	if _, ok := state.Pages[srv.URL+broken]; !ok {
+		t.Error("transiently failing page lost its record")
+	}
+	if rep.Vanished != 0 {
+		t.Errorf("report vanished = %d, want 0", rep.Vanished)
+	}
+	found := false
+	for _, fe := range rep.Errors {
+		if fe.URL == srv.URL+broken && fe.Class == ClassHTTP5xx && fe.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Report.Errors missing the failed URL: %+v", rep.Errors)
+	}
+}
+
+// TestRecrawlIncompleteCrawlRetiresNothing: a crawl stopped by the page cap
+// must not classify unreached records as vanished.
+func TestRecrawlIncompleteCrawlRetiresNothing(t *testing.T) {
+	g := corpus.New(corpus.Options{Seed: 11})
+	site := BuildSite(g.Corpus(10), nil)
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	full := &Crawler{Client: srv.Client(), Fetch: FetchPolicy{MaxRetries: -1}}
+	state := NewCrawlState()
+	recrawl(t, full, srv.URL+"/", state)
+	before := state.Len()
+
+	capped := &Crawler{Client: srv.Client(), MaxPages: 2,
+		Fetch: FetchPolicy{Revalidate: false, MaxRetries: -1}}
+	changes, rep := recrawl(t, capped, srv.URL+"/", state)
+	if rep.Skipped == 0 {
+		t.Fatalf("page cap did not truncate the crawl: %+v", rep)
+	}
+	if rep.Vanished != 0 || countChanges(changes)[ChangeVanished] != 0 {
+		t.Fatalf("incomplete crawl retired records: %v", countChanges(changes))
+	}
+	if state.Len() != before {
+		t.Fatalf("state shrank from %d to %d on an incomplete crawl", before, state.Len())
+	}
+}
+
+// TestCrawlStateJSONRoundTrip: a state serialized and restored drives the
+// next cycle identically (all pages revalidate unchanged).
+func TestCrawlStateJSONRoundTrip(t *testing.T) {
+	g := corpus.New(corpus.Options{Seed: 13})
+	site := BuildSite(g.Corpus(6), nil)
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	c := &Crawler{Client: srv.Client(), Fetch: FetchPolicy{Revalidate: true, MaxRetries: -1}}
+	state := NewCrawlState()
+	recrawl(t, c, srv.URL+"/", state)
+
+	blob, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCrawlState()
+	if err := json.Unmarshal(blob, restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != state.Len() {
+		t.Fatalf("round trip lost records: %d vs %d", restored.Len(), state.Len())
+	}
+	changes, rep := recrawl(t, c, srv.URL+"/", restored)
+	if got := countChanges(changes); got[ChangeUnchanged] != len(changes) || len(changes) == 0 {
+		t.Fatalf("restored state did not revalidate cleanly: %v", got)
+	}
+	if rep.NotModified == 0 {
+		t.Fatal("restored validators produced no 304s")
+	}
+}
+
+// TestSiteConditionalServing pins the in-memory site's ETag behavior the
+// recrawl tests rely on.
+func TestSiteConditionalServing(t *testing.T) {
+	site := BuildSite(nil, []string{"<html><body>x</body></html>"})
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	get := func(etag string) *http.Response {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/misc/0.html", nil)
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	first := get("")
+	if first.StatusCode != http.StatusOK || first.Header.Get("ETag") == "" {
+		t.Fatalf("plain GET: status %d, etag %q", first.StatusCode, first.Header.Get("ETag"))
+	}
+	etag := first.Header.Get("ETag")
+	if got := get(etag); got.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET with current etag: status %d, want 304", got.StatusCode)
+	}
+	site.SetPage("/misc/0.html", "<html><body>y</body></html>")
+	if got := get(etag); got.StatusCode != http.StatusOK {
+		t.Fatalf("conditional GET after mutation: status %d, want 200", got.StatusCode)
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestRunDriftDetection(t *testing.T) {
+	res, err := RunDriftDetection(12, []float64{0, 0.4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	quiet, noisy := res.Rows[0], res.Rows[1]
+	if quiet.Mutated != 0 || quiet.Changed != 0 || quiet.DetectCycles != 0 {
+		t.Fatalf("zero-rate row detected drift: %+v", quiet)
+	}
+	if noisy.Mutated == 0 {
+		t.Fatalf("mutation sweep at 40%% touched nothing: %+v", noisy)
+	}
+	if noisy.Changed != noisy.Mutated {
+		t.Fatalf("detection incomplete: changed %d of %d mutated", noisy.Changed, noisy.Mutated)
+	}
+	if noisy.DetectCycles != 1 || noisy.ShiftedPaths == 0 {
+		t.Fatalf("drift not named on the first cycle: %+v", noisy)
+	}
+	report := res.Report()
+	if len(report) == 0 || report[0] != 'E' {
+		t.Fatalf("report: %q", report)
+	}
+}

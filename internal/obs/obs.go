@@ -70,6 +70,10 @@ const (
 	// StageServeSwap times building and atomically installing a new
 	// serving snapshot (internal/serve.Server.Swap).
 	StageServeSwap = "serve.swap"
+	// StageWatch times one full continuous-operation cycle (conditional
+	// recrawl, delta fold, incremental re-derive, drift report) of the
+	// watch loop (internal/watch).
+	StageWatch = "watch.cycle"
 )
 
 // PipelineStages lists the stages a full Build exercises, in order.
@@ -103,7 +107,20 @@ const (
 	CtrCrawlRetried   = "crawl.retried"
 	CtrCrawlSkipped   = "crawl.skipped"
 	CtrCrawlTruncated = "crawl.truncated"
-	CtrCrawlBytes     = "crawl.bytes"
+	// CtrCrawlNotModified counts conditional refetches answered 304 — pages
+	// revalidated without a body transfer (recrawl cycles only).
+	CtrCrawlNotModified = "crawl.not_modified"
+	// CtrCrawlVanished counts page records retired by completed recrawls.
+	CtrCrawlVanished = "crawl.vanished"
+	CtrCrawlBytes    = "crawl.bytes"
+	// Continuous-operation (watch loop) counters.
+	CtrWatchCycles        = "watch.cycles"         // completed watch cycles
+	CtrWatchDocsUnchanged = "watch.docs.unchanged" // pages revalidated as current across cycles
+	CtrWatchDocsChanged   = "watch.docs.changed"   // pages refolded after a content change
+	CtrWatchDocsNew       = "watch.docs.new"       // pages first seen by a cycle
+	CtrWatchDocsVanished  = "watch.docs.vanished"  // pages retired by a cycle
+	CtrWatchDriftNew      = "watch.drift.paths.new"      // frequent paths appearing in drift reports
+	CtrWatchDriftVanished = "watch.drift.paths.vanished" // frequent paths vanishing in drift reports
 	// Serving-layer counters (webrevd / internal/serve).
 	CtrServeRequests    = "serve.requests"     // requests served, all endpoints
 	CtrServeErrors      = "serve.errors"       // requests answered with a 4xx/5xx

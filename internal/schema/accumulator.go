@@ -28,8 +28,13 @@ type Accumulator struct {
 	rep   int
 	docs  int
 	paths map[string]*pathAgg
+	// delta disables sequence-sample compaction so every folded document's
+	// sample survives verbatim and Subtract can retire it exactly. Delta
+	// accumulators trade bounded memory for invertibility; see
+	// NewDeltaAccumulator.
+	delta bool
 	// table caches Freeze()'s interned path table; any mutation (Add,
-	// Merge, UnmarshalJSON) invalidates it.
+	// Merge, Subtract, UnmarshalJSON) invalidates it.
 	table *PathTable
 }
 
@@ -61,8 +66,27 @@ func NewAccumulator(repThreshold int) *Accumulator {
 	return &Accumulator{rep: repThreshold, paths: make(map[string]*pathAgg)}
 }
 
+// NewDeltaAccumulator returns an empty accumulator whose folds are exactly
+// invertible with Subtract. It differs from NewAccumulator in one way:
+// sequence samples are never compacted, because compaction irreversibly
+// drops the per-document samples Subtract needs to retire. Mining a delta
+// accumulator is still byte-identical to mining a compacted one over the
+// same document set — the miner samples the same first-maxSeqSamples
+// corpus-ordered prefix either way — so the continuous build (the watch
+// loop) uses delta accumulators as its persistent shards without changing
+// any derived schema or DTD.
+func NewDeltaAccumulator(repThreshold int) *Accumulator {
+	a := NewAccumulator(repThreshold)
+	a.delta = true
+	return a
+}
+
 // RepThreshold returns the repetition threshold the accumulator folds with.
 func (a *Accumulator) RepThreshold() int { return a.rep }
+
+// Delta reports whether the accumulator retains full sequence samples for
+// exact retirement (NewDeltaAccumulator).
+func (a *Accumulator) Delta() bool { return a.delta }
 
 // Docs returns the number of documents folded in so far.
 func (a *Accumulator) Docs() int { return a.docs }
@@ -94,7 +118,95 @@ func (a *Accumulator) Add(doc int, d *DocPaths) {
 		if seqs := d.ChildSeqs[p]; len(seqs) > 0 {
 			ag.seqs = append(ag.seqs, docSeqs{doc: doc, seqs: seqs})
 			ag.nseqs += len(seqs)
-			ag.compact()
+			if !a.delta {
+				ag.compact()
+			}
+		}
+	}
+}
+
+// Subtract retires one previously folded document's statistics, exactly
+// inverting Add(doc, d): after fold-then-subtract the accumulator is
+// deep-equal to its pre-fold state (and marshals to identical JSON). The
+// DocPaths must be the same value folded for doc — the caller (the watch
+// loop) keeps it alongside the document in its persistent state.
+//
+// Subtract validates before mutating, so on error the accumulator is
+// unchanged. It fails when d references a path or sequence sample the
+// accumulator no longer holds — in particular when a non-delta
+// accumulator compacted the sample away; continuous builds must fold into
+// NewDeltaAccumulator shards.
+func (a *Accumulator) Subtract(doc int, d *DocPaths) error {
+	if a.docs <= 0 {
+		return fmt.Errorf("schema: subtract from empty accumulator")
+	}
+	for p := range d.Paths {
+		ag := a.paths[p]
+		if ag == nil || ag.docs <= 0 {
+			return fmt.Errorf("schema: subtract of unknown path %q", p)
+		}
+		if d.PosCount[p] > 0 && ag.posDocs <= 0 {
+			return fmt.Errorf("schema: subtract of path %q: no position contributions left", p)
+		}
+		if d.Mult[p] >= a.rep && ag.repDocs <= 0 {
+			return fmt.Errorf("schema: subtract of path %q: no repetition contributions left", p)
+		}
+		if len(d.ChildSeqs[p]) > 0 && !ag.hasDoc(doc) {
+			return fmt.Errorf("schema: subtract of path %q: no sequence sample for document %d (compacted away? continuous shards must use NewDeltaAccumulator)", p, doc)
+		}
+	}
+	a.docs--
+	a.table = nil
+	for p := range d.Paths {
+		ag := a.paths[p]
+		ag.docs--
+		if ag.docs == 0 {
+			delete(a.paths, p)
+			continue
+		}
+		if n := d.PosCount[p]; n > 0 {
+			ag.posDocs--
+			if ag.posDocs == 0 {
+				// Reset to the zero value rather than subtracting down to
+				// 0/1, so the "no sum yet" representation matches a fresh
+				// aggregate exactly.
+				ag.posSum = posRat{}
+			} else {
+				ag.posSum.subFrac(int64(d.PosSum[p]), int64(n))
+			}
+		}
+		if d.Mult[p] >= a.rep {
+			ag.repDocs--
+		}
+		if len(d.ChildSeqs[p]) > 0 {
+			ag.dropDoc(doc)
+		}
+	}
+	return nil
+}
+
+// hasDoc reports whether the aggregate still holds doc's sequence sample.
+func (g *pathAgg) hasDoc(doc int) bool {
+	for _, ds := range g.seqs {
+		if ds.doc == doc {
+			return true
+		}
+	}
+	return false
+}
+
+// dropDoc removes doc's sequence sample, preserving the order of the rest
+// and restoring a nil slice when the last sample goes (so fold-then-
+// subtract round-trips to deep equality).
+func (g *pathAgg) dropDoc(doc int) {
+	for i, ds := range g.seqs {
+		if ds.doc == doc {
+			g.nseqs -= len(ds.seqs)
+			g.seqs = append(g.seqs[:i], g.seqs[i+1:]...)
+			if len(g.seqs) == 0 {
+				g.seqs = nil
+			}
+			return
 		}
 	}
 }
@@ -106,6 +218,9 @@ func (a *Accumulator) Add(doc int, d *DocPaths) {
 func (a *Accumulator) Merge(b *Accumulator) error {
 	if a.rep != b.rep {
 		return fmt.Errorf("schema: merging accumulators with different repetition thresholds (%d vs %d)", a.rep, b.rep)
+	}
+	if a.delta != b.delta {
+		return fmt.Errorf("schema: merging delta and non-delta accumulators")
 	}
 	a.docs += b.docs
 	a.table = nil
@@ -121,7 +236,9 @@ func (a *Accumulator) Merge(b *Accumulator) error {
 		ag.repDocs += bg.repDocs
 		ag.seqs = append(ag.seqs, bg.seqs...)
 		ag.nseqs += bg.nseqs
-		ag.compact()
+		if !a.delta {
+			ag.compact()
+		}
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 type accJSON struct {
 	Rep   int        `json:"rep"`
 	Docs  int        `json:"docs"`
+	Delta bool       `json:"delta,omitempty"`
 	Paths []pathJSON `json:"paths,omitempty"`
 }
 
@@ -41,7 +42,7 @@ type docSeqsJSON struct {
 // MarshalJSON encodes the accumulator's full state deterministically
 // (paths sorted, sequence samples sorted by corpus index).
 func (a *Accumulator) MarshalJSON() ([]byte, error) {
-	out := accJSON{Rep: a.rep, Docs: a.docs}
+	out := accJSON{Rep: a.rep, Docs: a.docs, Delta: a.delta}
 	keys := make([]string, 0, len(a.paths))
 	for p := range a.paths {
 		keys = append(keys, p)
@@ -82,6 +83,7 @@ func (a *Accumulator) UnmarshalJSON(data []byte) error {
 	}
 	a.rep = in.Rep
 	a.docs = in.Docs
+	a.delta = in.Delta
 	a.table = nil
 	a.paths = make(map[string]*pathAgg, len(in.Paths))
 	for _, pj := range in.Paths {

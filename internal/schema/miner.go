@@ -29,15 +29,19 @@ type Miner struct {
 	// support(p)/support(parent(p)); it keeps deep paths whose absolute
 	// support naturally decays (§3.2).
 	RatioThreshold float64
-	// RepThreshold and MultThreshold parameterize the repetition rule used
-	// later by DTD derivation; recorded per schema node here because the
-	// statistics live in the miner's input. Defaults applied when zero.
-	RepThreshold  int
+	// RepThreshold parameterizes the repetition rule used later by DTD
+	// derivation; recorded per schema node here because the statistics live
+	// in the miner's input. Default applied when zero.
+	RepThreshold int
+	// MultThreshold is the fraction of containing documents in which a node
+	// must repeat for the repetition rule to mark it (default when zero).
 	MultThreshold float64
-	// Constraints and Set, when non-nil, prune the path search space before
+	// Constraints, when non-nil, prunes the path search space before
 	// support is even consulted (§4.2).
 	Constraints *concept.Constraints
-	Set         *concept.Set
+	// Set, when non-nil, supplies the concept vocabulary Constraints
+	// validates against.
+	Set *concept.Set
 	// Tracer, when non-nil, times Discover under obs.StageMine and records
 	// the explored/pruned/frequent path counters.
 	Tracer obs.Tracer
@@ -53,12 +57,14 @@ type Miner struct {
 
 // Node is one node of the discovered majority schema tree TF.
 type Node struct {
-	Label    string
-	Path     string  // Sep-joined path from the root label
-	Support  float64 // document frequency of Path
-	Ratio    float64 // supportRatio of Path
-	AvgPos   float64 // mean child position across documents (ordering rule)
-	RepFrac  float64 // fraction of containing docs where the node repeats
+	// Label is the node's element label (the last path segment).
+	Label   string
+	Path    string  // Sep-joined path from the root label
+	Support float64 // document frequency of Path
+	Ratio   float64 // supportRatio of Path
+	AvgPos  float64 // mean child position across documents (ordering rule)
+	RepFrac float64 // fraction of containing docs where the node repeats
+	// Children holds the node's frequent children, ordered by AvgPos.
 	Children []*Node
 	// Seqs samples the child-label sequences observed for this node across
 	// documents (capped), enabling repetitive group-pattern discovery in

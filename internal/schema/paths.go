@@ -25,10 +25,11 @@ type DocPaths struct {
 	// Mult maps a path to the maximum number of like-labeled siblings any
 	// node with that label path has (⟨p,num⟩ of §3.2, max over occurrences).
 	Mult map[string]int
-	// PosSum/PosCount accumulate the child positions (index among element
-	// children of the parent) of nodes with each label path; their quotient
+	// PosSum accumulates the child positions (index among element children
+	// of the parent) of nodes with each label path; divided by PosCount it
 	// feeds the ordering rule (§3.3).
-	PosSum   map[string]float64
+	PosSum map[string]float64
+	// PosCount counts the occurrences PosSum accumulated per path.
 	PosCount map[string]int
 	// ChildSeqs records, for each path, the child-label sequences of its
 	// occurrences — the raw material for discovering repetitive group

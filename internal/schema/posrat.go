@@ -62,6 +62,17 @@ func (p *posRat) addRat(q *posRat) {
 	p.addFrac(q.num, q.den)
 }
 
+// subFrac subtracts num/den (den > 0, num >= 0) from the sum, exactly
+// inverting a prior addFrac of the same fraction. Subtraction runs through
+// big.Rat — it is off the fold hot path — and the result is re-normalized
+// by setRat, so a value that fits a reduced int64 fraction lands back on
+// the small path: retiring the documents that forced a spill un-spills the
+// sum, and fold-then-subtract restores the exact pre-fold representation.
+func (p *posRat) subFrac(num, den int64) {
+	r := new(big.Rat).Sub(p.rat(), new(big.Rat).SetFrac64(num, den))
+	p.setRat(r)
+}
+
 // setRat replaces the sum with an arbitrary exact rational (JSON restore).
 // Values fitting a reduced int64 fraction stay on the small path.
 func (p *posRat) setRat(r *big.Rat) {

@@ -29,6 +29,7 @@ import (
 	"webrev/internal/pathindex"
 	"webrev/internal/query"
 	"webrev/internal/repository"
+	"webrev/internal/schema"
 	"webrev/internal/xmlout"
 )
 
@@ -114,6 +115,7 @@ func (o *Options) withDefaults() Options {
 type Server struct {
 	cur     atomic.Pointer[Index]
 	gen     atomic.Uint64
+	drift   atomic.Pointer[schema.Drift]
 	queries *memo.Cache[*query.Query]
 	tr      obs.Tracer
 	opts    Options
@@ -150,8 +152,28 @@ func NewServer(repo *repository.Repository, opts Options) *Server {
 	s.mux.HandleFunc("/api/dtd", s.wrap(s.handleDTD))
 	s.mux.HandleFunc("/api/concept", s.wrap(s.handleConcept))
 	s.mux.HandleFunc("/api/stats", s.wrap(s.handleStats))
+	s.mux.HandleFunc("/api/drift", s.wrap(s.handleDrift))
 	s.mux.HandleFunc("/api/reload", s.wrap(s.handleReload))
 	return s
+}
+
+// SetDrift publishes the latest schema-drift report; GET /api/drift serves
+// it. The watch loop calls this after every cycle, typically alongside a
+// Swap of the cycle's repository. A nil report clears the endpoint back to
+// 404.
+func (s *Server) SetDrift(d *schema.Drift) { s.drift.Store(d) }
+
+// Drift returns the currently published drift report, or nil.
+func (s *Server) Drift() *schema.Drift { return s.drift.Load() }
+
+// handleDrift answers GET /api/drift with the latest published report.
+func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
+	d := s.drift.Load()
+	if d == nil {
+		s.httpError(w, http.StatusNotFound, "no drift report published")
+		return
+	}
+	writeJSON(w, d)
 }
 
 // install builds the next-generation snapshot and publishes it.

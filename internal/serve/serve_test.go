@@ -463,3 +463,45 @@ func BenchmarkServeCount(b *testing.B) {
 		}
 	}
 }
+
+func TestDriftEndpoint(t *testing.T) {
+	s := NewServer(testRepo(t, 2, 0), Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Before a watch cycle publishes anything the endpoint is a 404.
+	resp, err := http.Get(ts.URL + "/api/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /api/drift before publish = %d, want 404", resp.StatusCode)
+	}
+
+	want := &schema.Drift{
+		Version: schema.DriftVersion,
+		Cycle:   3,
+		Docs:    schema.DocDelta{Unchanged: 7, Changed: 2},
+		ShiftedPaths: []schema.PathShift{
+			{Path: "resume/contact", OldSupport: 1, NewSupport: 0.8},
+		},
+	}
+	s.SetDrift(want)
+	var got schema.Drift
+	if resp := getJSON(t, ts.URL+"/api/drift", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/drift = %d, want 200", resp.StatusCode)
+	}
+	if got.Cycle != want.Cycle || got.Version != want.Version ||
+		got.Docs != want.Docs || len(got.ShiftedPaths) != 1 ||
+		got.ShiftedPaths[0] != want.ShiftedPaths[0] {
+		t.Fatalf("drift round-trip mismatch: %+v", got)
+	}
+
+	// A newer report replaces the old one atomically.
+	s.SetDrift(&schema.Drift{Version: schema.DriftVersion, Cycle: 4})
+	getJSON(t, ts.URL+"/api/drift", &got)
+	if got.Cycle != 4 {
+		t.Fatalf("drift cycle after swap = %d, want 4", got.Cycle)
+	}
+}

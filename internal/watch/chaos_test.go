@@ -1,0 +1,106 @@
+package watch
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webrev/internal/faultinject"
+	"webrev/internal/obs"
+)
+
+// TestWatchChaosDrift is the continuous-operation chaos gate (`make
+// chaos-drift`): a seeded template-mutation sweep rewrites the section
+// headings of ~20% of the site's templates mid-watch, and the next cycle
+// must (1) detect every mutated document, (2) emit a drift report naming
+// the shifted frequent paths, (3) finish without touching the quarantine
+// budget, and (4) leave a state directory a fresh watcher resumes from
+// cleanly. The normalized report is pinned as a golden
+// (testdata/chaos_drift.golden; regenerate with UPDATE_GOLDEN=1).
+func TestWatchChaosDrift(t *testing.T) {
+	site, srv := newSite(t, 30, 1)
+	dir := t.TempDir()
+	col := obs.NewCollector()
+	w := newWatcher(t, srv, Options{StateDir: dir, MinSupportShift: 0.02, Tracer: col})
+	if _, err := w.Cycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The chaos sweep: rename ~20% of the templates' section headings to
+	// phrases outside the concept vocabulary.
+	tm := faultinject.NewTemplate(faultinject.TemplateConfig{
+		Seed: 42, Rate: 0.2,
+		Ops: []faultinject.TemplateOp{faultinject.TemplateRenameHeading},
+	})
+	mutated := mutatePages(t, site, tm)
+	if len(mutated) < 3 {
+		t.Fatalf("chaos sweep mutated only %d templates", len(mutated))
+	}
+	res, err := w.Cycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Drift
+	if got := d.Docs.Changed; got != len(mutated) {
+		t.Fatalf("drift saw %d changed docs, sweep mutated %d", got, len(mutated))
+	}
+	if !d.Shifted() {
+		t.Fatalf("template sweep went undetected: %s", d.Summary())
+	}
+	if len(d.ShiftedPaths)+len(d.VanishedPaths) == 0 {
+		t.Fatalf("report names no shifted or vanished frequent paths: %s", d.Summary())
+	}
+	if ratio := res.Repo.FailureRatio(); ratio > 0 {
+		t.Fatalf("chaos cycle quarantined documents (ratio %.2f)", ratio)
+	}
+	snap := col.Snapshot().Normalize()
+	if snap.Counters[obs.CtrWatchCycles] != 2 ||
+		snap.Counters[obs.CtrWatchDocsChanged] != int64(len(mutated)) {
+		t.Fatalf("watch counters off: cycles=%d changed=%d",
+			snap.Counters[obs.CtrWatchCycles], snap.Counters[obs.CtrWatchDocsChanged])
+	}
+
+	blob, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.ReplaceAll(string(blob), strings.TrimPrefix(srv.URL, "http://"), "site.example") + "\n"
+	golden := filepath.Join("testdata", "chaos_drift.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (regenerate with UPDATE_GOLDEN=1 go test ./internal/watch/ -run ChaosDrift): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("drift report diverges from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Kill/resume: a fresh watcher over the same state directory picks up
+	// after the chaos cycle, and a quiet cycle reports a stable schema and
+	// an identical repository.
+	w2 := newWatcher(t, srv, Options{StateDir: dir, MinSupportShift: 0.02})
+	if w2.Cycles() != 2 {
+		t.Fatalf("resumed watcher at cycle %d, want 2", w2.Cycles())
+	}
+	res3, err := w2.Cycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3 := res3.Drift
+	if d3.Shifted() || d3.Docs.Changed != 0 || d3.Docs.New != 0 || d3.Docs.Vanished != 0 {
+		t.Fatalf("post-resume cycle not stable: %s", d3.Summary())
+	}
+	if renderRepo(res3.Repo) != renderRepo(res.Repo) {
+		t.Fatal("post-resume repository diverges from pre-kill repository")
+	}
+}
