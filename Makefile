@@ -9,13 +9,13 @@ GO ?= go
 FUZZTIME ?= 5s
 
 .PHONY: build test vet race fuzz bench bench-convert bench-map bench-serve \
-	bench-recrawl bench-stream-short docs-lint chaos chaos-drift coverage \
-	check ci-test ci-race-chaos ci-fuzz-docs
+	bench-recrawl bench-stream-short docs-lint chaos chaos-drift chaos-serve \
+	coverage check ci-test ci-race-chaos ci-fuzz-docs
 
 # Packages whose statement coverage is gated in CI (the convert hot path
 # plus the query/serving read path and the discover->mine->map stages).
 COVER_PKGS = webrev/internal/bayes webrev/internal/convert webrev/internal/xmlout \
-	webrev/internal/query webrev/internal/pathindex \
+	webrev/internal/query webrev/internal/pathindex webrev/internal/serve \
 	webrev/internal/discover webrev/internal/schema webrev/internal/mapping
 # Floor enforced by `make coverage` / the CI coverage job. The
 # discover/mine/map packages carry a higher floor (pkg=floor form,
@@ -23,7 +23,7 @@ COVER_PKGS = webrev/internal/bayes webrev/internal/convert webrev/internal/xmlou
 # proofs, so untested branches there are a determinism risk.
 COVER_FLOOR ?= 70
 COVER_ARGS = webrev/internal/bayes webrev/internal/convert webrev/internal/xmlout \
-	webrev/internal/query webrev/internal/pathindex \
+	webrev/internal/query webrev/internal/pathindex webrev/internal/serve=80 \
 	webrev/internal/discover=85 webrev/internal/schema=85 webrev/internal/mapping=85
 
 # Benchmarks gating the CI bench-regression job: the per-document convert
@@ -91,7 +91,8 @@ bench-map:
 
 # Serving-latency snapshot: webrevd's load-test harness drives 64
 # concurrent clients against a corpus-built repository with background
-# snapshot swaps, and writes the p50/p90/p99/mean/throughput percentiles
+# snapshot swaps (ServeMixed rows), then a 4x-overload pass into a tiny
+# admission limit (ServeOverload goodput/p99 rows), and writes the result
 # as BENCH_serve.json (same file shape as bench-convert, so cmd/benchdiff
 # compares it directly).
 bench-serve:
@@ -132,6 +133,14 @@ chaos:
 chaos-drift:
 	$(GO) test -run TestWatchChaosDrift ./internal/watch/
 
+# Serving-layer chaos gate, always under -race: 4x overload must shed with
+# 503s while admitted requests keep a bounded p99, injected handler panics
+# and corrupt/panicking reloads must kill neither the process nor the
+# serving generation, and a drain must finish every in-flight request. See
+# ARCHITECTURE.md, "Overload & drain".
+chaos-serve:
+	$(GO) test -race -run TestChaos ./internal/serve/
+
 # Recrawl-cycle snapshot: steady-state (all-304) and 20%-delta watch cycles
 # against the cold full-rebuild baseline, written as BENCH_recrawl.json for
 # the CI bench-regression job.
@@ -144,8 +153,8 @@ bench-recrawl:
 # jobs per Go version. Locally, `make check` remains their union.
 ci-test: build vet test
 
-ci-race-chaos: race chaos chaos-drift
+ci-race-chaos: race chaos chaos-drift chaos-serve
 
 ci-fuzz-docs: fuzz docs-lint bench-stream-short
 
-check: build vet test race fuzz docs-lint chaos chaos-drift bench-stream-short
+check: build vet test race fuzz docs-lint chaos chaos-drift chaos-serve bench-stream-short

@@ -92,7 +92,7 @@ commands:
   quarantine   list documents a build quarantined, or replay them after a fix
   watch        continuous operation: recrawl a site on a cadence, fold deltas,
                and report schema drift (state persists in -checkpoint DIR)
-  experiments  regenerate the paper's evaluation (E1-E10, E12, E13)
+  experiments  regenerate the paper's evaluation (E1-E10, E12-E14)
 
 build and experiments accept -metrics FILE (JSON stage-metrics snapshot)
 and -pprof ADDR (live /debug/pprof + /metrics endpoint).
@@ -492,7 +492,7 @@ func cmdWatch(args []string, w io.Writer) error {
 
 func cmdExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10,E12,E13", "comma-separated experiment ids")
+	run := fs.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10,E12,E13,E14", "comma-separated experiment ids")
 	docs := fs.Int("docs", 0, "override corpus size (0 = per-experiment default)")
 	seed := fs.Int64("seed", 1, "corpus seed")
 	metricsOut, pprofAddr := obsFlags(fs)
@@ -586,6 +586,13 @@ func cmdExperiments(args []string, w io.Writer) error {
 			sizes = []int{*docs / 4, *docs / 2, *docs}
 		}
 		r, err := experiments.RunHotPath(sizes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Report())
+	}
+	if want["E14"] {
+		r, err := experiments.RunOverloadSweep(n(40), []int{2, 8, 32}, []int{1, 2, 4}, time.Second, *seed)
 		if err != nil {
 			return err
 		}

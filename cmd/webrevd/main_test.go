@@ -18,6 +18,12 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-repo", "x", "-corpus", "10"}, io.Discard); err == nil {
 		t.Fatal("both -repo and -corpus accepted")
 	}
+	if err := run([]string{"-repo", "x", "-follow", "y"}, io.Discard); err == nil {
+		t.Fatal("both -repo and -follow accepted")
+	}
+	if err := run([]string{"-corpus", "10", "-follow", "y"}, io.Discard); err == nil {
+		t.Fatal("both -corpus and -follow accepted")
+	}
 	if err := run([]string{"-badflag"}, io.Discard); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
@@ -43,6 +49,7 @@ func TestBenchFromCorpus(t *testing.T) {
 	for _, name := range []string{
 		"ServeMixed/p50", "ServeMixed/p90", "ServeMixed/p99",
 		"ServeMixed/mean", "ServeMixed/throughput",
+		"ServeOverload/p99", "ServeOverload/goodput",
 	} {
 		res, ok := f.Benchmarks[name]
 		if !ok || res.NsPerOp <= 0 || res.Iterations == 0 {

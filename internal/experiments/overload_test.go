@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunOverloadSweep(t *testing.T) {
+	res, err := RunOverloadSweep(10, []int{2}, []int{1, 4}, 250*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	atCap, over := res.Rows[0], res.Rows[1]
+	for _, row := range res.Rows {
+		if row.Errors != 0 {
+			t.Fatalf("cell %dx produced %d non-shed errors", row.Multiplier, row.Errors)
+		}
+		if row.Admitted == 0 {
+			t.Fatalf("cell %dx admitted nothing: %+v", row.Multiplier, row)
+		}
+		// Bounded tail for admitted work: queue wait + service time plus
+		// generous scheduling slack, far below unbounded queueing.
+		if row.P99 > 250*time.Millisecond {
+			t.Fatalf("cell %dx admitted p99 = %v, want bounded", row.Multiplier, row.P99)
+		}
+	}
+	if over.Shed == 0 {
+		t.Fatalf("4x overload shed nothing: %+v", over)
+	}
+	if over.ShedRate <= atCap.ShedRate {
+		t.Fatalf("shed rate did not grow with load: %.2f at 1x vs %.2f at 4x",
+			atCap.ShedRate, over.ShedRate)
+	}
+	// Goodput must not collapse under overload: the 4x cell keeps at least
+	// a third of the at-capacity cell's goodput (in practice it is ~equal).
+	if over.Goodput < atCap.Goodput/3 {
+		t.Fatalf("goodput collapsed under overload: %.0f/s at 1x vs %.0f/s at 4x",
+			atCap.Goodput, over.Goodput)
+	}
+	report := res.Report()
+	if len(report) == 0 || report[0] != 'E' {
+		t.Fatalf("report: %q", report)
+	}
+}

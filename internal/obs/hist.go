@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets a Histogram
+// tracks. Bucket i covers durations in [2^i, 2^(i+1)) nanoseconds, so 48
+// buckets span sub-microsecond handler times through multi-minute stalls.
+const histBuckets = 48
+
+// Histogram is a lock-free latency histogram with power-of-two buckets,
+// built for the serving hot path: Observe is a single atomic increment, so
+// any number of request goroutines may feed one Histogram concurrently
+// without a mutex. Quantiles are estimated from the bucket counts (each
+// bucket reports its upper bound), which is exact enough for overload
+// dashboards and regression gates while costing nothing per request.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe folds one duration into the histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// bucketOf maps a nanosecond latency to its power-of-two bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// HistStats is a frozen summary of a Histogram, shaped for JSON surfaces
+// (webrevd's /api/stats). Quantiles are bucket upper bounds — conservative
+// (never under-reported) estimates.
+type HistStats struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot summarizes the histogram's current state. Concurrent Observe
+// calls may or may not be included; the summary is internally consistent
+// enough for monitoring (counts are read once per bucket).
+func (h *Histogram) Snapshot() HistStats {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	st := HistStats{Count: total, Max: time.Duration(h.max.Load())}
+	if total == 0 {
+		return st
+	}
+	st.Mean = time.Duration(h.sum.Load() / total)
+	st.P50 = histQuantile(&counts, total, 0.50)
+	st.P90 = histQuantile(&counts, total, 0.90)
+	st.P99 = histQuantile(&counts, total, 0.99)
+	return st
+}
+
+// histQuantile returns the upper bound of the bucket holding the
+// q-quantile observation.
+func histQuantile(counts *[histBuckets]int64, total int64, q float64) time.Duration {
+	rank := int64(q * float64(total-1))
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if c > 0 && seen > rank {
+			return time.Duration(int64(1)<<(i+1) - 1)
+		}
+	}
+	return time.Duration(int64(1)<<histBuckets - 1)
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 9 medium, 1 slow: p50 lands in the fast band,
+	// p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	h.Observe(1 * time.Second)
+
+	st := h.Snapshot()
+	if st.Count != 100 {
+		t.Fatalf("count = %d, want 100", st.Count)
+	}
+	if st.P50 < time.Microsecond || st.P50 > 4*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1-2µs bucket bound", st.P50)
+	}
+	if st.P90 > 4*time.Microsecond {
+		t.Errorf("p90 = %v, want within the fast band (rank 89 of 100)", st.P90)
+	}
+	// Nearest-rank p99 of 100 samples is the 99th observation — the top of
+	// the 1ms band, not the lone 1s outlier (that one is Max).
+	if st.P99 < time.Millisecond || st.P99 >= time.Second {
+		t.Errorf("p99 = %v, want in the 1ms band", st.P99)
+	}
+	if st.Max != time.Second {
+		t.Errorf("max = %v, want 1s", st.Max)
+	}
+	if st.Mean <= 0 {
+		t.Errorf("mean = %v, want > 0", st.Mean)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	if st := h.Snapshot(); st.Count != 0 || st.P99 != 0 || st.Mean != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", st)
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped, never panics
+	if st := h.Snapshot(); st.Count != 2 {
+		t.Fatalf("count = %d, want 2", st.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := h.Snapshot(); st.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", st.Count, goroutines*per)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for ns, want := range cases {
+		if got := bucketOf(ns); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", ns, got, want)
+		}
+	}
+	if got := bucketOf(1 << 62); got != histBuckets-1 {
+		t.Errorf("bucketOf(huge) = %d, want clamped to %d", got, histBuckets-1)
+	}
+}

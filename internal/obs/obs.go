@@ -57,10 +57,10 @@ const (
 	// StageMineFold times the parallel per-shard accumulator fold that
 	// precedes frequent-path discovery when the miner runs sharded.
 	StageMineFold = "schema.mine.fold"
-	StageDerive  = "dtd.derive"       // schema → DTD
-	StageMap     = "map.conform"      // DTD-guided document mapping, per document
-	StageCrawl   = "crawl"            // acquisition crawl (bridged from crawler.Report)
-	StageMerge   = "schema.merge"     // merging per-shard schema accumulators (streaming build)
+	StageDerive   = "dtd.derive"   // schema → DTD
+	StageMap      = "map.conform"  // DTD-guided document mapping, per document
+	StageCrawl    = "crawl"        // acquisition crawl (bridged from crawler.Report)
+	StageMerge    = "schema.merge" // merging per-shard schema accumulators (streaming build)
 	// StageCheckpoint times each snapshot of the streaming build's
 	// accumulator state to the checkpoint directory.
 	StageCheckpoint = "checkpoint.write"
@@ -81,32 +81,32 @@ var PipelineStages = []string{StageConvert, StageExtract, StageMine, StageDerive
 
 // Canonical counter names.
 const (
-	CtrDocsConverted  = "docs.converted"      // documents through conversion
-	CtrBytesIn        = "bytes.in"            // HTML bytes entering conversion
-	CtrBytesOut       = "bytes.out"           // XML bytes of conformed output
-	CtrTokens         = "tokens.total"        // tokens from the tokenization rule
-	CtrTokensIdent    = "tokens.identified"   // tokens related to a concept
-	CtrTokensUnident  = "tokens.unidentified" // tokens folded into parent val
-	CtrClassifierHits = "tokens.classified"   // tokens identified by the Bayes classifier
-	CtrConceptNodes   = "concepts.nodes"      // concept elements produced
-	CtrPathsExtracted = "paths.extracted"     // distinct label paths across documents
-	CtrPathsExplored  = "paths.explored"      // candidate paths tested by the miner
-	CtrPathsPruned    = "paths.pruned"        // candidates rejected by constraints
-	CtrPathsFrequent  = "paths.frequent"      // paths kept in the majority schema
-	CtrDTDElements    = "dtd.elements"        // element declarations derived
-	CtrMapEdits       = "map.edits"           // total edit operations across documents
-	CtrMapDocs        = "map.docs"            // documents through conformance mapping
-	CtrMapMemoHits    = "map.memo_hits"       // Conform calls reusing the precompiled DTD index
-	CtrMineShards     = "mine.shards"         // accumulator shards folded by the parallel miner
-	CtrDocsQuarantined = "docs.quarantined" // documents dropped by per-document fault isolation
-	CtrDocsDegraded    = "docs.degraded"    // documents kept but truncated or identity-mapped by limits
-	CtrDocsRestored    = "docs.restored"    // documents restored from a streaming-build checkpoint
-	CtrCheckpoints     = "checkpoint.writes" // checkpoint snapshots written by the streaming build
-	CtrCrawlFetched   = "crawl.fetched"
-	CtrCrawlFailed    = "crawl.failed"
-	CtrCrawlRetried   = "crawl.retried"
-	CtrCrawlSkipped   = "crawl.skipped"
-	CtrCrawlTruncated = "crawl.truncated"
+	CtrDocsConverted   = "docs.converted"      // documents through conversion
+	CtrBytesIn         = "bytes.in"            // HTML bytes entering conversion
+	CtrBytesOut        = "bytes.out"           // XML bytes of conformed output
+	CtrTokens          = "tokens.total"        // tokens from the tokenization rule
+	CtrTokensIdent     = "tokens.identified"   // tokens related to a concept
+	CtrTokensUnident   = "tokens.unidentified" // tokens folded into parent val
+	CtrClassifierHits  = "tokens.classified"   // tokens identified by the Bayes classifier
+	CtrConceptNodes    = "concepts.nodes"      // concept elements produced
+	CtrPathsExtracted  = "paths.extracted"     // distinct label paths across documents
+	CtrPathsExplored   = "paths.explored"      // candidate paths tested by the miner
+	CtrPathsPruned     = "paths.pruned"        // candidates rejected by constraints
+	CtrPathsFrequent   = "paths.frequent"      // paths kept in the majority schema
+	CtrDTDElements     = "dtd.elements"        // element declarations derived
+	CtrMapEdits        = "map.edits"           // total edit operations across documents
+	CtrMapDocs         = "map.docs"            // documents through conformance mapping
+	CtrMapMemoHits     = "map.memo_hits"       // Conform calls reusing the precompiled DTD index
+	CtrMineShards      = "mine.shards"         // accumulator shards folded by the parallel miner
+	CtrDocsQuarantined = "docs.quarantined"    // documents dropped by per-document fault isolation
+	CtrDocsDegraded    = "docs.degraded"       // documents kept but truncated or identity-mapped by limits
+	CtrDocsRestored    = "docs.restored"       // documents restored from a streaming-build checkpoint
+	CtrCheckpoints     = "checkpoint.writes"   // checkpoint snapshots written by the streaming build
+	CtrCrawlFetched    = "crawl.fetched"
+	CtrCrawlFailed     = "crawl.failed"
+	CtrCrawlRetried    = "crawl.retried"
+	CtrCrawlSkipped    = "crawl.skipped"
+	CtrCrawlTruncated  = "crawl.truncated"
 	// CtrCrawlNotModified counts conditional refetches answered 304 — pages
 	// revalidated without a body transfer (recrawl cycles only).
 	CtrCrawlNotModified = "crawl.not_modified"
@@ -114,11 +114,11 @@ const (
 	CtrCrawlVanished = "crawl.vanished"
 	CtrCrawlBytes    = "crawl.bytes"
 	// Continuous-operation (watch loop) counters.
-	CtrWatchCycles        = "watch.cycles"         // completed watch cycles
-	CtrWatchDocsUnchanged = "watch.docs.unchanged" // pages revalidated as current across cycles
-	CtrWatchDocsChanged   = "watch.docs.changed"   // pages refolded after a content change
-	CtrWatchDocsNew       = "watch.docs.new"       // pages first seen by a cycle
-	CtrWatchDocsVanished  = "watch.docs.vanished"  // pages retired by a cycle
+	CtrWatchCycles        = "watch.cycles"               // completed watch cycles
+	CtrWatchDocsUnchanged = "watch.docs.unchanged"       // pages revalidated as current across cycles
+	CtrWatchDocsChanged   = "watch.docs.changed"         // pages refolded after a content change
+	CtrWatchDocsNew       = "watch.docs.new"             // pages first seen by a cycle
+	CtrWatchDocsVanished  = "watch.docs.vanished"        // pages retired by a cycle
 	CtrWatchDriftNew      = "watch.drift.paths.new"      // frequent paths appearing in drift reports
 	CtrWatchDriftVanished = "watch.drift.paths.vanished" // frequent paths vanishing in drift reports
 	// Serving-layer counters (webrevd / internal/serve).
@@ -128,6 +128,22 @@ const (
 	CtrServeResultHits  = "serve.result.hits"  // query responses served from the result cache
 	CtrServeCompileHits = "serve.compile.hits" // queries served a cached compilation
 	CtrServeSwaps       = "serve.swaps"        // serving snapshots installed (initial load included)
+	// CtrServeShed counts requests rejected 503 by admission control
+	// (in-flight semaphore saturated and the wait queue full or timed out).
+	CtrServeShed = "serve.shed"
+	// CtrServeTimeouts counts requests aborted by their propagated deadline
+	// (server default or ?timeout= cap) and answered 504.
+	CtrServeTimeouts = "serve.timeouts"
+	// CtrServePanics counts handler panics converted to 500s by the
+	// per-request recover boundary; the process never dies with the request.
+	CtrServePanics = "serve.panics"
+	// CtrServeReloadRejected counts reload attempts whose candidate snapshot
+	// failed validation (or whose loader errored/panicked); the previous
+	// generation keeps serving.
+	CtrServeReloadRejected = "serve.reload_rejected"
+	// CtrServeDrains counts graceful-drain sequences started (SIGTERM or an
+	// explicit Daemon.Drain).
+	CtrServeDrains = "serve.drains"
 )
 
 // Canonical gauge names. Gauges record point-in-time levels (Set), not
@@ -144,7 +160,23 @@ const (
 	// GaugeStreamShards is the number of per-worker schema accumulators the
 	// streaming build merged.
 	GaugeStreamShards = "stream.shards"
+	// GaugeServeInFlight is the number of requests currently admitted and
+	// executing in the serving layer.
+	GaugeServeInFlight = "serve.inflight"
+	// GaugeServeInFlightPeak is the high-water mark of GaugeServeInFlight
+	// over the server's lifetime; admission control guarantees peak <= cap.
+	GaugeServeInFlightPeak = "serve.inflight.peak"
+	// GaugeServeQueueDepth is the number of requests waiting in the
+	// admission queue for an in-flight slot.
+	GaugeServeQueueDepth = "serve.queue.depth"
 )
+
+// ServeEndpointStage returns the stage name under which one webrevd
+// endpoint's latency is recorded, e.g. ServeEndpointStage("query") ==
+// "serve.endpoint.query". The per-endpoint stages complement StageServe
+// (which aggregates all endpoints) so overload investigations can tell a
+// slow scan surface from a cheap health probe.
+func ServeEndpointStage(endpoint string) string { return "serve.endpoint." + endpoint }
 
 // MapOpCounter returns the counter name for one conformance-mapping edit
 // kind, e.g. MapOpCounter("insert") == "map.ops.insert".

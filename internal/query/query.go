@@ -21,6 +21,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -245,6 +246,57 @@ func (q *Query) Each(ix Index, fn func(path string, ref pathindex.Ref) bool) {
 			}
 		}
 	}
+}
+
+// ctxCheckStride is how many matches EachContext streams between
+// cancellation checks — frequent enough that an aborted scan stops within
+// microseconds, rare enough that the channel poll never shows up in
+// profiles.
+const ctxCheckStride = 256
+
+// EachContext is Each with cooperative cancellation: the walk polls
+// ctx.Done() every ctxCheckStride matches and stops early when the context
+// is cancelled or its deadline passes, returning the context's error. This
+// is how webrevd's per-request deadlines abort slow scans instead of
+// pinning a worker until the scan finishes on its own. A context that can
+// never be cancelled costs nothing extra (the check is skipped entirely).
+func (q *Query) EachContext(ctx context.Context, ix Index, fn func(path string, ref pathindex.Ref) bool) error {
+	done := ctx.Done()
+	if done == nil {
+		q.Each(ix, fn)
+		return nil
+	}
+	select {
+	case <-done:
+		return ctx.Err()
+	default:
+	}
+	var err error
+	n := 0
+	q.Each(ix, func(p string, ref pathindex.Ref) bool {
+		if n++; n%ctxCheckStride == 0 {
+			select {
+			case <-done:
+				err = ctx.Err()
+				return false
+			default:
+			}
+		}
+		return fn(p, ref)
+	})
+	return err
+}
+
+// CountContext is Count under cooperative cancellation: it returns the
+// number of matches streamed before the context fired, and the context's
+// error if it did.
+func (q *Query) CountContext(ctx context.Context, ix Index) (int, error) {
+	n := 0
+	err := q.EachContext(ctx, ix, func(string, pathindex.Ref) bool {
+		n++
+		return true
+	})
+	return n, err
 }
 
 // Evaluate runs the query against an index and returns the matching node

@@ -41,11 +41,11 @@ func TestRootAnchoring(t *testing.T) {
 func TestPredicateQuoting(t *testing.T) {
 	root := el("r")
 	for _, val := range []string{
-		"B.S.",     // plain
-		`"B.S."`,   // value that itself starts and ends with quotes
-		"a/b",      // '/' inside a value is not a step separator
-		"[x]",      // brackets inside a value are not a predicate
-		`a\b`,      // literal backslash
+		"B.S.",   // plain
+		`"B.S."`, // value that itself starts and ends with quotes
+		"a/b",    // '/' inside a value is not a step separator
+		"[x]",    // brackets inside a value are not a predicate
+		`a\b`,    // literal backslash
 	} {
 		root.AppendChild(elv("v", val))
 	}

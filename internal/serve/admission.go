@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the overload gate in front of the /api handlers: a bounded
+// in-flight semaphore with a short bounded wait queue. A request either
+// takes an execution slot immediately, waits in the queue for up to
+// queueWait for one to free, or is shed. Both bounds are hard, so worker
+// goroutines, queue memory and queue delay are all capped no matter how
+// much load is offered — the server's latency under overload is bounded
+// by construction instead of collapsing under an unbounded backlog.
+type admission struct {
+	slots     chan struct{} // in-flight execution slots, capacity = MaxInFlight
+	queue     chan struct{} // wait-queue occupancy tokens, capacity = MaxQueue
+	queueWait time.Duration
+
+	inflight atomic.Int64
+	peak     atomic.Int64
+	queued   atomic.Int64
+	admitted atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int, queueWait time.Duration) *admission {
+	a := &admission{
+		slots:     make(chan struct{}, maxInFlight),
+		queueWait: queueWait,
+	}
+	if maxQueue > 0 {
+		a.queue = make(chan struct{}, maxQueue)
+	}
+	return a
+}
+
+// acquire claims an execution slot, reporting false when the request must
+// be shed: the slots are full and the queue is full, the queue wait
+// expired, or the client gave up (ctx done) while queued.
+func (a *admission) acquire(ctx context.Context) bool {
+	select {
+	case a.slots <- struct{}{}:
+		a.noteAdmit()
+		return true
+	default:
+	}
+	if a.queue == nil {
+		return false
+	}
+	// Claim a queue position; a full queue sheds immediately.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return false
+	}
+	a.queued.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		<-a.queue
+	}()
+	t := time.NewTimer(a.queueWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.noteAdmit()
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// noteAdmit tracks the in-flight level and its high-water mark.
+func (a *admission) noteAdmit() {
+	a.admitted.Add(1)
+	cur := a.inflight.Add(1)
+	for {
+		p := a.peak.Load()
+		if cur <= p || a.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+// release frees the caller's execution slot.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}

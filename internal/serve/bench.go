@@ -32,16 +32,22 @@ type LoadOptions struct {
 	SwapRepo func() *repository.Repository
 }
 
-// LoadResult is the outcome of one LoadTest run. Latencies cover every
-// completed request, successful or not; Errors counts transport failures
-// and non-2xx statuses.
+// LoadResult is the outcome of one LoadTest run. Latency percentiles
+// cover admitted requests only (2xx — work the server accepted and
+// finished): a shed 503 answers in microseconds by design, and folding it
+// in would flatter the percentiles exactly when the server is refusing
+// work. Shed counts 503s; Errors counts transport failures and non-2xx
+// statuses other than 503.
 type LoadResult struct {
 	Clients    int
-	Requests   int64
+	Requests   int64 // every attempt, admitted or shed
+	Admitted   int64 // requests the server accepted and answered non-503
+	Shed       int64 // 503 responses (admission control refusing work)
 	Errors     int64
 	Swaps      int64
 	Duration   time.Duration
-	Throughput float64 // requests per second
+	Throughput float64 // offered requests per second (all attempts)
+	Goodput    float64 // admitted requests per second
 	Mean       time.Duration
 	P50        time.Duration
 	P90        time.Duration
@@ -49,9 +55,17 @@ type LoadResult struct {
 	Max        time.Duration
 }
 
+// ShedRate is the fraction of attempts shed, in [0,1].
+func (r *LoadResult) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
+}
+
 func (r *LoadResult) String() string {
-	return fmt.Sprintf("clients=%d requests=%d errors=%d swaps=%d rps=%.0f p50=%v p90=%v p99=%v max=%v",
-		r.Clients, r.Requests, r.Errors, r.Swaps, r.Throughput, r.P50, r.P90, r.P99, r.Max)
+	return fmt.Sprintf("clients=%d requests=%d shed=%d errors=%d swaps=%d rps=%.0f goodput=%.0f p50=%v p90=%v p99=%v max=%v",
+		r.Clients, r.Requests, r.Shed, r.Errors, r.Swaps, r.Throughput, r.Goodput, r.P50, r.P90, r.P99, r.Max)
 }
 
 // DefaultWorkload derives a mixed request workload from the current
@@ -60,6 +74,9 @@ func (r *LoadResult) String() string {
 // generates. n bounds how many distinct query paths are sampled.
 func (s *Server) DefaultWorkload(n int) []string {
 	ix := s.cur.Load()
+	if ix == nil {
+		return []string{"/healthz"}
+	}
 	paths := ix.frozen.Paths()
 	if n <= 0 || n > len(paths) {
 		n = len(paths)
@@ -144,7 +161,7 @@ func LoadTest(s *Server, baseURL string, opts LoadOptions) (*LoadResult, error) 
 	}
 
 	lats := make([][]time.Duration, opts.Clients)
-	var errs int64
+	var attempts, shed, errs int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < opts.Clients; c++ {
@@ -155,10 +172,17 @@ func LoadTest(s *Server, baseURL string, opts LoadOptions) (*LoadResult, error) 
 			for i := c; time.Now().Before(deadline); i++ {
 				target := baseURL + opts.Workload[i%len(opts.Workload)]
 				t0 := time.Now()
-				ok := doRequest(client, target)
-				local = append(local, time.Since(t0))
-				if !ok {
+				status := doRequest(client, target)
+				d := time.Since(t0)
+				atomic.AddInt64(&attempts, 1)
+				switch {
+				case status == http.StatusServiceUnavailable:
+					atomic.AddInt64(&shed, 1)
+				case status == 0 || status >= 300:
 					atomic.AddInt64(&errs, 1)
+				default:
+					// Admitted and answered; only these latencies count.
+					local = append(local, d)
 				}
 			}
 			lats[c] = local
@@ -173,38 +197,49 @@ func LoadTest(s *Server, baseURL string, opts LoadOptions) (*LoadResult, error) 
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	if len(all) == 0 {
+	if atomic.LoadInt64(&attempts) == 0 {
 		return nil, fmt.Errorf("serve: load test completed zero requests")
+	}
+	res := &LoadResult{
+		Clients:    opts.Clients,
+		Requests:   atomic.LoadInt64(&attempts),
+		Admitted:   int64(len(all)),
+		Shed:       atomic.LoadInt64(&shed),
+		Errors:     errs,
+		Swaps:      atomic.LoadInt64(&swaps),
+		Duration:   elapsed,
+		Throughput: float64(attempts) / elapsed.Seconds(),
+		Goodput:    float64(len(all)) / elapsed.Seconds(),
+	}
+	if len(all) == 0 {
+		return res, nil // everything shed or failed; percentiles stay zero
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	var sum time.Duration
 	for _, d := range all {
 		sum += d
 	}
-	res := &LoadResult{
-		Clients:    opts.Clients,
-		Requests:   int64(len(all)),
-		Errors:     errs,
-		Swaps:      atomic.LoadInt64(&swaps),
-		Duration:   elapsed,
-		Throughput: float64(len(all)) / elapsed.Seconds(),
-		Mean:       sum / time.Duration(len(all)),
-		P50:        percentile(all, 0.50),
-		P90:        percentile(all, 0.90),
-		P99:        percentile(all, 0.99),
-		Max:        all[len(all)-1],
-	}
+	res.Mean = sum / time.Duration(len(all))
+	res.P50 = percentile(all, 0.50)
+	res.P90 = percentile(all, 0.90)
+	res.P99 = percentile(all, 0.99)
+	res.Max = all[len(all)-1]
 	return res, nil
 }
 
-func doRequest(client *http.Client, target string) bool {
+// doRequest performs one workload request and returns the HTTP status, or
+// 0 on a transport or body-read failure.
+func doRequest(client *http.Client, target string) int {
 	resp, err := client.Get(target)
 	if err != nil {
-		return false
+		return 0
 	}
 	_, err = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return err == nil && resp.StatusCode < 300
+	if err != nil {
+		return 0
+	}
+	return resp.StatusCode
 }
 
 // percentile returns the p-quantile of sorted durations by nearest-rank.

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"webrev/internal/repository"
+)
+
+// TestFollowInstallsHealsAndRecovers walks the whole follow-mode
+// lifecycle against a real checkpoint directory: pending until the source
+// exists, ready after the first valid checkpoint, unharmed by a corrupt
+// rewrite, and swapped forward when the source is repaired.
+func TestFollowInstallsHealsAndRecovers(t *testing.T) {
+	dir := t.TempDir() // exists but empty: the first loads must fail
+	s := NewServer(nil, Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Follow(ctx, FollowOptions{
+			Load:        func() (*repository.Repository, error) { return repository.Load(dir) },
+			Fingerprint: func() (string, error) { return DirFingerprint(dir) },
+			Interval:    5 * time.Millisecond,
+			MaxBackoff:  40 * time.Millisecond,
+		})
+	}()
+
+	// Empty source: the server stays pending while rejections accumulate.
+	waitFor(t, 2*time.Second, "rejected reloads from the empty source", func() bool {
+		return s.Stats().ReloadRejected >= 1
+	})
+	if s.Ready() {
+		t.Fatal("server became ready with no checkpoint on disk")
+	}
+
+	// First valid checkpoint appears: the pending server flips ready.
+	if err := testRepo(t, 3, 0).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "the first snapshot to install", s.Ready)
+	if st := s.Stats(); st.Gen != 1 || st.Docs != 3 {
+		t.Fatalf("after first install: gen=%d docs=%d, want gen 1 docs 3", st.Gen, st.Docs)
+	}
+
+	// Corrupt rewrite (garbage DTD): fingerprint changes, the load is
+	// rejected, and the last good generation keeps serving.
+	rejectedBefore := s.Stats().ReloadRejected
+	if err := os.WriteFile(filepath.Join(dir, "schema.dtd"), []byte("<!NOT A DTD"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "the corrupt rewrite to be rejected", func() bool {
+		return s.Stats().ReloadRejected > rejectedBefore
+	})
+	if st := s.Stats(); !st.Ready || st.Gen != 1 || st.Docs != 3 {
+		t.Fatalf("after corrupt rewrite: ready=%v gen=%d docs=%d, want the retained gen 1", st.Ready, st.Gen, st.Docs)
+	}
+	if s.LastReloadError() == "" {
+		t.Fatal("corrupt rewrite left no surfaced reload error")
+	}
+
+	// Repair with a bigger repository: follow installs gen 2 and clears
+	// the surfaced error.
+	if err := testRepo(t, 5, 100).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "the repaired checkpoint to install", func() bool {
+		st := s.Stats()
+		return st.Gen == 2 && st.Docs == 5
+	})
+	if got := s.LastReloadError(); got != "" {
+		t.Fatalf("reload error still surfaced after recovery: %q", got)
+	}
+
+	// Healthy and unchanged: the fingerprint short-circuits, so neither
+	// swaps nor rejections move.
+	st0 := s.Stats()
+	time.Sleep(50 * time.Millisecond)
+	if st := s.Stats(); st.Swaps != st0.Swaps || st.ReloadRejected != st0.ReloadRejected {
+		t.Fatalf("idle follow kept working: swaps %d->%d rejected %d->%d",
+			st0.Swaps, st.Swaps, st0.ReloadRejected, st.ReloadRejected)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Follow returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Follow did not return after cancel")
+	}
+}
+
+// TestFollowRequiresLoad asserts the option contract.
+func TestFollowRequiresLoad(t *testing.T) {
+	s := NewServer(nil, Options{})
+	if err := s.Follow(context.Background(), FollowOptions{}); err == nil {
+		t.Fatal("Follow accepted a nil Load")
+	}
+}
+
+// TestDirFingerprint asserts stability on an untouched checkpoint and
+// sensitivity to both manifest-visible and torn (size-only) changes.
+func TestDirFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	if err := testRepo(t, 3, 0).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := DirFingerprint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := DirFingerprint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint unstable on an untouched dir: %s vs %s", fp1, fp2)
+	}
+
+	// A torn doc rewrite — same manifest, different file size — must still
+	// change the fingerprint.
+	docs, err := filepath.Glob(filepath.Join(dir, "doc-*.xml"))
+	if err != nil || len(docs) == 0 {
+		t.Fatalf("no doc files in checkpoint (err=%v)", err)
+	}
+	f, err := os.OpenFile(docs[0], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("  ")
+	f.Close()
+	fp3, err := DirFingerprint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Fatal("fingerprint blind to a doc-file size change")
+	}
+
+	if _, err := DirFingerprint(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("fingerprint of a missing directory did not error")
+	}
+}
+
+// TestBackoffDoubling pins the failure-backoff schedule.
+func TestBackoffDoubling(t *testing.T) {
+	base, max := 10*time.Millisecond, time.Second
+	cases := map[int]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 20 * time.Millisecond,
+		5: 160 * time.Millisecond,
+		8: time.Second, // 1280ms capped
+	}
+	for n, want := range cases {
+		if got := backoff(base, n, max); got != want {
+			t.Errorf("backoff(%v, %d, %v) = %v, want %v", base, n, max, got, want)
+		}
+	}
+	if got := backoff(2*time.Second, 1, time.Second); got != time.Second {
+		t.Errorf("backoff base beyond max = %v, want capped at 1s", got)
+	}
+}

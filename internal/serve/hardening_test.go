@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"webrev/internal/repository"
+)
+
+// TestErrorPathsHardening is the table of abuse-shaped inputs the serving
+// layer must answer with a clean 4xx/5xx (never a panic, never a hang):
+// malformed deadlines, oversized queries, unknown documents, and a reload
+// with no source behind it.
+func TestErrorPathsHardening(t *testing.T) {
+	s := NewServer(testRepo(t, 3, 0), Options{}) // no Options.Reload
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	oversized := "//" + strings.Repeat("a", maxQueryLen)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		want   int
+	}{
+		{"malformed timeout", "GET", "/api/query?q=" + url.QueryEscape("//institution") + "&timeout=banana", http.StatusBadRequest},
+		{"negative timeout", "GET", "/api/query?q=" + url.QueryEscape("//institution") + "&timeout=-5s", http.StatusBadRequest},
+		{"zero timeout", "GET", "/api/count?q=" + url.QueryEscape("//institution") + "&timeout=0s", http.StatusBadRequest},
+		{"oversized query", "GET", "/api/query?q=" + url.QueryEscape(oversized), http.StatusBadRequest},
+		{"oversized count", "GET", "/api/count?q=" + url.QueryEscape(oversized), http.StatusBadRequest},
+		{"unknown doc name", "GET", "/api/doc?name=no-such-doc", http.StatusNotFound},
+		{"doc index out of range", "GET", "/api/doc?i=999", http.StatusNotFound},
+		{"reload without a source", "POST", "/api/reload", http.StatusInternalServerError},
+		{"reload wrong method", "GET", "/api/reload", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+	if got := s.Stats().Errors; got != int64(len(cases)) {
+		t.Fatalf("errors counter = %d, want %d (one per rejected request)", got, len(cases))
+	}
+}
+
+// TestRequestDeadlineAnswers504 asserts an already-expired client deadline
+// aborts evaluation and is answered 504 with the timeout counted.
+func TestRequestDeadlineAnswers504(t *testing.T) {
+	s := NewServer(testRepo(t, 4, 0), Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/api/query?q=" + url.QueryEscape("//institution") + "&timeout=1ns",
+		"/api/count?q=" + url.QueryEscape("//degree") + "&timeout=1ns",
+		"/api/concept?name=institution&timeout=1ns",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("GET %s = %d, want 504", path, resp.StatusCode)
+		}
+	}
+	if got := s.Stats().Timeouts; got != 3 {
+		t.Fatalf("timeouts counter = %d, want 3", got)
+	}
+
+	// The same queries without the poisoned deadline still answer fine —
+	// a timeout poisons one request, not the cached compilation.
+	var cr CountResponse
+	getJSON(t, ts.URL+"/api/count?q="+url.QueryEscape("//degree"), &cr)
+	if cr.Count != 4 {
+		t.Fatalf("count after timeouts = %d, want 4", cr.Count)
+	}
+}
+
+// TestRequestTimeoutClamped asserts ?timeout= cannot exceed
+// MaxRequestTimeout.
+func TestRequestTimeoutClamped(t *testing.T) {
+	s := NewServer(testRepo(t, 1, 0), Options{
+		RequestTimeout:    time.Second,
+		MaxRequestTimeout: 2 * time.Second,
+	})
+	req := httptest.NewRequest("GET", "/api/query?q=//x&timeout=10m", nil)
+	d, err := s.requestTimeout(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2*time.Second {
+		t.Fatalf("timeout clamped to %v, want 2s", d)
+	}
+	req = httptest.NewRequest("GET", "/api/query?q=//x", nil)
+	if d, _ := s.requestTimeout(req); d != time.Second {
+		t.Fatalf("default timeout = %v, want 1s", d)
+	}
+}
+
+// TestReloadPanicRegression pins the satellite regression: a panicking
+// Options.Reload leaves the generation unchanged, keeps the server
+// answering, and surfaces the failure on /api/stats.
+func TestReloadPanicRegression(t *testing.T) {
+	s := NewServer(testRepo(t, 2, 0), Options{
+		Reload: func() (*repository.Repository, error) { panic("loader exploded") },
+	})
+	if _, err := s.Reload(); err == nil || !strings.Contains(err.Error(), "loader exploded") {
+		t.Fatalf("Reload error = %v, want the recovered panic", err)
+	}
+	st := s.Stats()
+	if st.Gen != 1 || st.Docs != 2 {
+		t.Fatalf("generation moved after panicking reload: gen=%d docs=%d", st.Gen, st.Docs)
+	}
+	if st.ReloadRejected != 1 || !strings.Contains(st.LastReloadErr, "loader exploded") {
+		t.Fatalf("rejection not surfaced: rejected=%d lastErr=%q", st.ReloadRejected, st.LastReloadErr)
+	}
+	// Still serving.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var cr CountResponse
+	getJSON(t, ts.URL+"/api/count?q="+url.QueryEscape("//institution"), &cr)
+	if cr.Count != 2 {
+		t.Fatalf("count after panicking reload = %d, want 2", cr.Count)
+	}
+}

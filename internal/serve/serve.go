@@ -12,18 +12,31 @@
 // data-independent, so it survives swaps) and a rendered-response cache on
 // each Index (results depend on the data, so the cache dies with its
 // snapshot — swap is the invalidation).
+//
+// Around that read path sits an overload-and-failure hardening layer (see
+// ARCHITECTURE.md, "Overload & drain"): admission control sheds excess
+// load with 503 + Retry-After instead of queueing unboundedly, every
+// request carries a deadline that aborts slow scans mid-walk, a recover
+// boundary converts handler panics into structured 500s, reloads validate
+// the candidate snapshot and keep the last good generation on any failure,
+// and Daemon drains in-flight requests before exit.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"webrev/internal/dtd"
+	"webrev/internal/faultinject"
 	"webrev/internal/memo"
 	"webrev/internal/obs"
 	"webrev/internal/pathindex"
@@ -32,6 +45,10 @@ import (
 	"webrev/internal/schema"
 	"webrev/internal/xmlout"
 )
+
+// maxQueryLen bounds the accepted query-expression length; longer
+// expressions are rejected 400 before compilation touches them.
+const maxQueryLen = 4096
 
 // Index is one immutable serving snapshot: the repository's documents and
 // DTD, the frozen path index, and this generation's rendered-response
@@ -57,6 +74,11 @@ func (ix *Index) Docs() int { return len(ix.names) }
 // Frozen returns the snapshot's read-only path index.
 func (ix *Index) Frozen() *pathindex.Frozen { return ix.frozen }
 
+// Repo returns the repository the snapshot serves. The repository is
+// immutable once inside an Index; callers may share it with another
+// server (e.g. the bench harness's overload pass).
+func (ix *Index) Repo() *repository.Repository { return ix.repo }
+
 func newIndex(gen uint64, repo *repository.Repository, resultCap int) *Index {
 	names := repo.Names()
 	byName := make(map[string]int, len(names))
@@ -74,7 +96,8 @@ func newIndex(gen uint64, repo *repository.Repository, resultCap int) *Index {
 	}
 }
 
-// Options parameterizes NewServer. The zero value serves with defaults.
+// Options parameterizes NewServer. The zero value serves with defaults:
+// no admission limit, a 30s request deadline, and no reload source.
 type Options struct {
 	// Tracer records serve-stage spans and counters; nil means the no-op
 	// tracer.
@@ -88,9 +111,35 @@ type Options struct {
 	// MaxResults caps the matches rendered for one query request; Count
 	// remains exact beyond it (default 1000).
 	MaxResults int
+	// MaxInFlight bounds the /api requests executing concurrently; excess
+	// requests wait briefly in a bounded queue and are then shed with a
+	// 503 + Retry-After. 0 disables admission control.
+	MaxInFlight int
+	// MaxQueue bounds the requests waiting for an in-flight slot (default
+	// MaxInFlight when admission is enabled; negative means no queue).
+	MaxQueue int
+	// QueueWait caps how long a queued request waits for a slot before
+	// being shed (default 100ms).
+	QueueWait time.Duration
+	// RequestTimeout is the default per-request deadline propagated via
+	// context through query evaluation (default 30s; negative disables).
+	RequestTimeout time.Duration
+	// MaxRequestTimeout caps the ?timeout= override a client may request
+	// (default 1m).
+	MaxRequestTimeout time.Duration
+	// RetryAfter is the Retry-After value, in seconds, advertised on shed
+	// responses (default 1).
+	RetryAfter int
+	// Faults, when set, fires a seeded fault injector at the top of every
+	// /api request (stage obs.ServeEndpointStage(endpoint), key the request
+	// URI) — the chaos harness's hook for handler panics, errors and
+	// delays. Nil in production.
+	Faults *faultinject.Stage
 	// Reload, when set, backs POST /api/reload: it produces the next
 	// repository (reloading a directory, rebuilding a corpus) and the
-	// server swaps to it atomically.
+	// server swaps to it atomically — but only after the candidate passes
+	// ValidateSnapshot; a failing, panicking, or corrupt reload leaves the
+	// current generation serving.
 	Reload func() (*repository.Repository, error)
 }
 
@@ -105,7 +154,31 @@ func (o *Options) withDefaults() Options {
 	if out.MaxResults <= 0 {
 		out.MaxResults = 1000
 	}
+	if out.MaxQueue == 0 {
+		out.MaxQueue = out.MaxInFlight
+	} else if out.MaxQueue < 0 {
+		out.MaxQueue = 0
+	}
+	if out.QueueWait <= 0 {
+		out.QueueWait = 100 * time.Millisecond
+	}
+	if out.RequestTimeout == 0 {
+		out.RequestTimeout = 30 * time.Second
+	}
+	if out.MaxRequestTimeout <= 0 {
+		out.MaxRequestTimeout = time.Minute
+	}
+	if out.RetryAfter <= 0 {
+		out.RetryAfter = 1
+	}
 	return out
+}
+
+// endpointNames is the fixed set of endpoint labels the per-endpoint
+// latency histograms track.
+var endpointNames = []string{
+	"healthz", "readyz", "query", "count", "paths", "docs", "doc",
+	"dtd", "concept", "stats", "drift", "reload",
 }
 
 // Server answers repository queries over HTTP from the current snapshot.
@@ -120,40 +193,69 @@ type Server struct {
 	tr      obs.Tracer
 	opts    Options
 	mux     *http.ServeMux
+	adm     *admission                // nil when admission control is off
+	hist    map[string]*obs.Histogram // per-endpoint latency; fixed keys
 
 	reloadMu sync.Mutex // serializes Reload; Swap itself is lock-free
+	draining atomic.Bool
 
 	// Serving totals, mirrored to the tracer's counters when one is
 	// attached; kept as atomics so /api/stats never needs the collector.
-	requests    atomic.Int64
-	errors      atomic.Int64
-	queryEvals  atomic.Int64
-	resultHits  atomic.Int64
-	compileHits atomic.Int64
-	swaps       atomic.Int64
+	requests       atomic.Int64
+	errors         atomic.Int64
+	queryEvals     atomic.Int64
+	resultHits     atomic.Int64
+	compileHits    atomic.Int64
+	swaps          atomic.Int64
+	shed           atomic.Int64
+	timeouts       atomic.Int64
+	panics         atomic.Int64
+	reloadRejected atomic.Int64
+
+	lastReloadErr atomic.Pointer[string]
+
+	panicMu  sync.Mutex
+	panicLog []PanicRecord // most recent panicLogCap records
 }
 
-// NewServer builds a server over the initial repository snapshot.
+// panicLogCap bounds the panic records retained for /api/stats.
+const panicLogCap = 8
+
+// NewServer builds a server over the initial repository snapshot. A nil
+// repo starts the server pending: /healthz answers (the process is live)
+// but /readyz and every /api endpoint return 503 until the first valid
+// snapshot is installed via Swap, Reload, or Follow — the boot shape of
+// follow mode, where the reload source may not exist yet.
 func NewServer(repo *repository.Repository, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		queries: memo.New[*query.Query](opts.QueryCacheSize),
 		tr:      obs.OrNop(opts.Tracer),
 		opts:    opts,
+		hist:    make(map[string]*obs.Histogram, len(endpointNames)),
 	}
-	s.install(repo)
+	for _, name := range endpointNames {
+		s.hist[name] = &obs.Histogram{}
+	}
+	if opts.MaxInFlight > 0 {
+		s.adm = newAdmission(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait)
+	}
+	if repo != nil {
+		s.install(repo)
+	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/healthz", s.wrap(s.handleHealthz))
-	s.mux.HandleFunc("/api/query", s.wrap(s.handleQuery))
-	s.mux.HandleFunc("/api/count", s.wrap(s.handleCount))
-	s.mux.HandleFunc("/api/paths", s.wrap(s.handlePaths))
-	s.mux.HandleFunc("/api/docs", s.wrap(s.handleDocs))
-	s.mux.HandleFunc("/api/doc", s.wrap(s.handleDoc))
-	s.mux.HandleFunc("/api/dtd", s.wrap(s.handleDTD))
-	s.mux.HandleFunc("/api/concept", s.wrap(s.handleConcept))
-	s.mux.HandleFunc("/api/stats", s.wrap(s.handleStats))
-	s.mux.HandleFunc("/api/drift", s.wrap(s.handleDrift))
-	s.mux.HandleFunc("/api/reload", s.wrap(s.handleReload))
+	s.mux.HandleFunc("/healthz", s.wrap("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.wrap("readyz", false, s.handleReadyz))
+	s.mux.HandleFunc("/api/query", s.wrap("query", true, s.handleQuery))
+	s.mux.HandleFunc("/api/count", s.wrap("count", true, s.handleCount))
+	s.mux.HandleFunc("/api/paths", s.wrap("paths", true, s.handlePaths))
+	s.mux.HandleFunc("/api/docs", s.wrap("docs", true, s.handleDocs))
+	s.mux.HandleFunc("/api/doc", s.wrap("doc", true, s.handleDoc))
+	s.mux.HandleFunc("/api/dtd", s.wrap("dtd", true, s.handleDTD))
+	s.mux.HandleFunc("/api/concept", s.wrap("concept", true, s.handleConcept))
+	s.mux.HandleFunc("/api/stats", s.wrap("stats", true, s.handleStats))
+	s.mux.HandleFunc("/api/drift", s.wrap("drift", true, s.handleDrift))
+	s.mux.HandleFunc("/api/reload", s.wrap("reload", true, s.handleReload))
 	return s
 }
 
@@ -190,50 +292,347 @@ func (s *Server) install(repo *repository.Repository) uint64 {
 
 // Swap atomically replaces the serving snapshot with one built from repo
 // and returns the new generation. Readers in flight keep the snapshot they
-// started with; no request is blocked or dropped.
+// started with; no request is blocked or dropped. Swap trusts its caller —
+// untrusted sources (reload, follow mode) go through Reload or TrySwap,
+// which validate first.
 func (s *Server) Swap(repo *repository.Repository) uint64 {
 	sp := s.tr.StartSpan(obs.StageServeSwap)
 	defer sp.End()
 	return s.install(repo)
 }
 
-// Reload produces the next repository via Options.Reload and swaps to it.
-// Concurrent reloads are serialized; reads are never blocked.
+// ValidateSnapshot decides whether a candidate repository is fit to serve:
+// non-nil, non-empty, with a parseable DTD and a non-empty path index. A
+// reload source mid-write or corrupt on disk fails here and the server
+// keeps answering from the last good generation.
+func ValidateSnapshot(repo *repository.Repository) error {
+	if repo == nil {
+		return fmt.Errorf("candidate snapshot is nil")
+	}
+	if repo.DTD() == nil {
+		return fmt.Errorf("candidate snapshot has no DTD")
+	}
+	if _, err := dtd.Parse(repo.DTD().Render()); err != nil {
+		return fmt.Errorf("candidate DTD does not re-parse: %w", err)
+	}
+	if repo.Len() == 0 {
+		return fmt.Errorf("candidate snapshot is empty")
+	}
+	if len(repo.Index().Paths()) == 0 {
+		return fmt.Errorf("candidate snapshot has an empty path index")
+	}
+	return nil
+}
+
+// TrySwap validates the candidate and swaps to it; on validation failure
+// the current generation keeps serving, the rejection is counted
+// (serve.reload_rejected) and surfaced on /api/stats, and the error is
+// returned. This is the swap follow mode and /api/reload share.
+func (s *Server) TrySwap(repo *repository.Repository) (uint64, error) {
+	if err := ValidateSnapshot(repo); err != nil {
+		s.rejectReload(err)
+		return 0, err
+	}
+	gen := s.Swap(repo)
+	s.clearReloadErr()
+	return gen, nil
+}
+
+// safeReload invokes the configured reload source with a recover boundary:
+// a panicking loader becomes an error, never a dead process.
+func safeReload(load func() (*repository.Repository, error)) (repo *repository.Repository, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			repo, err = nil, fmt.Errorf("reload source panicked: %v", v)
+		}
+	}()
+	return load()
+}
+
+// rejectReload records one rejected reload: counter, tracer, and the error
+// text /api/stats surfaces until a reload succeeds.
+func (s *Server) rejectReload(err error) {
+	s.reloadRejected.Add(1)
+	if s.tr.Enabled() {
+		s.tr.Add(obs.CtrServeReloadRejected, 1)
+	}
+	msg := err.Error()
+	s.lastReloadErr.Store(&msg)
+}
+
+func (s *Server) clearReloadErr() { s.lastReloadErr.Store(nil) }
+
+// LastReloadError returns the most recent reload failure, or "" when the
+// last reload succeeded (or none was attempted).
+func (s *Server) LastReloadError() string {
+	if p := s.lastReloadErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Reload produces the next repository via Options.Reload, validates it,
+// and swaps to it. A loader error or panic, or a candidate that fails
+// ValidateSnapshot, leaves the current generation serving and is recorded
+// as a rejected reload. Concurrent reloads are serialized; reads are never
+// blocked.
 func (s *Server) Reload() (uint64, error) {
 	if s.opts.Reload == nil {
 		return 0, fmt.Errorf("serve: no reload source configured")
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	repo, err := s.opts.Reload()
+	repo, err := safeReload(s.opts.Reload)
+	if err != nil {
+		err = fmt.Errorf("serve: reload: %w", err)
+		s.rejectReload(err)
+		return 0, err
+	}
+	gen, err := s.TrySwap(repo)
 	if err != nil {
 		return 0, fmt.Errorf("serve: reload: %w", err)
 	}
-	return s.Swap(repo), nil
+	return gen, nil
 }
 
-// Snapshot returns the current serving snapshot.
+// Snapshot returns the current serving snapshot, or nil when none has been
+// installed yet (a pending follow-mode server).
 func (s *Server) Snapshot() *Index { return s.cur.Load() }
 
-// Handler returns the HTTP surface: the /api routes plus /healthz.
+// Ready reports whether the server has a snapshot installed and is not
+// draining — the /readyz condition.
+func (s *Server) Ready() bool { return s.cur.Load() != nil && !s.draining.Load() }
+
+// BeginDrain marks the server draining: /readyz flips to 503 so load
+// balancers stop routing new traffic, while in-flight and straggler
+// requests still answer normally. Called by Daemon on SIGTERM; idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) && s.tr.Enabled() {
+		s.tr.Add(obs.CtrServeDrains, 1)
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the HTTP surface: the /api routes plus /healthz and
+// /readyz.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Mux exposes the underlying mux so callers can mount extra routes (the
 // obs debug surface) on the same listener.
 func (s *Server) Mux() *http.ServeMux { return s.mux }
 
-// wrap is the per-request envelope: span, request counter, and the error
-// counter fed by httpError via the response wrapper.
-func (s *Server) wrap(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// snapshot loads the current snapshot for a handler, answering 503 (and
+// returning nil) when none is installed yet.
+func (s *Server) snapshot(w http.ResponseWriter) *Index {
+	ix := s.cur.Load()
+	if ix == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "no snapshot installed yet")
+	}
+	return ix
+}
+
+// requestTimeout resolves the deadline for one request: the server default
+// overridden by a well-formed ?timeout= duration, capped at
+// MaxRequestTimeout. A malformed or non-positive override is an error the
+// handler answers 400.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	d := s.opts.RequestTimeout
+	if d < 0 {
+		d = 0
+	}
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		td, err := time.ParseDuration(raw)
+		if err != nil || td <= 0 {
+			return 0, fmt.Errorf("bad timeout %q (want a positive Go duration like 250ms)", raw)
+		}
+		d = td
+	}
+	if d > s.opts.MaxRequestTimeout {
+		d = s.opts.MaxRequestTimeout
+	}
+	return d, nil
+}
+
+// wrap is the per-request envelope, outermost first: panic recovery (a
+// handler panic becomes a structured 500, never a dead process), the
+// request counter and latency span/histogram, admission control for /api
+// endpoints, deadline propagation, and the chaos harness's fault injector.
+func (s *Server) wrap(endpoint string, admit bool, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	hist := s.hist[endpoint]
+	stage := obs.ServeEndpointStage(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		sp := s.tr.StartSpan(obs.StageServe)
 		s.requests.Add(1)
 		if s.tr.Enabled() {
 			s.tr.Add(obs.CtrServeRequests, 1)
 		}
-		h(w, r)
-		sp.End()
+		sw := &statusWriter{ResponseWriter: w}
+		uri := r.URL.RequestURI()
+		t0 := time.Now()
+		defer func() {
+			if v := recover(); v != nil {
+				s.recordPanic(stage, uri, v, sw)
+			}
+			d := time.Since(t0)
+			hist.Observe(d)
+			if s.tr.Enabled() {
+				s.tr.Observe(stage, d)
+			}
+			sp.End()
+		}()
+		if admit {
+			if s.adm != nil {
+				if !s.adm.acquire(r.Context()) {
+					s.shedRequest(sw)
+					return
+				}
+				defer s.release()
+				s.noteInFlight()
+			}
+			d, err := s.requestTimeout(r)
+			if err != nil {
+				s.httpError(sw, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if d > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), d)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+			if s.opts.Faults != nil {
+				if err := s.opts.Faults.Fire(stage, uri); err != nil {
+					s.httpError(sw, http.StatusInternalServerError, "%v", err)
+					return
+				}
+			}
+		}
+		h(sw, r)
 	}
+}
+
+// noteInFlight mirrors the admission gauges into the tracer after a
+// successful acquire.
+func (s *Server) noteInFlight() {
+	if s.adm == nil || !s.tr.Enabled() {
+		return
+	}
+	cur := s.adm.inflight.Load()
+	s.tr.Set(obs.GaugeServeInFlight, cur)
+	s.tr.Set(obs.GaugeServeQueueDepth, s.adm.queued.Load())
+	if c, ok := s.tr.(*obs.Collector); ok {
+		c.SetMax(obs.GaugeServeInFlightPeak, cur)
+	}
+}
+
+// release returns this request's admission slot.
+func (s *Server) release() {
+	s.adm.release()
+	if s.tr.Enabled() {
+		s.tr.Set(obs.GaugeServeInFlight, s.adm.inflight.Load())
+		s.tr.Set(obs.GaugeServeQueueDepth, s.adm.queued.Load())
+	}
+}
+
+// shedRequest answers an unadmitted request: 503 with a Retry-After so
+// well-behaved clients back off, counted separately from handler errors.
+func (s *Server) shedRequest(w http.ResponseWriter) {
+	s.shed.Add(1)
+	if s.tr.Enabled() {
+		s.tr.Add(obs.CtrServeShed, 1)
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfter))
+	s.httpError(w, http.StatusServiceUnavailable, "overloaded, retry after %ds", s.opts.RetryAfter)
+}
+
+// timeoutError answers a request whose propagated deadline fired during
+// evaluation.
+func (s *Server) timeoutError(w http.ResponseWriter, err error) {
+	s.timeouts.Add(1)
+	if s.tr.Enabled() {
+		s.tr.Add(obs.CtrServeTimeouts, 1)
+	}
+	s.httpError(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", err)
+}
+
+// PanicRecord is the structured trace of one recovered handler panic — the
+// serving layer's mirror of the build pipeline's per-document
+// FailureRecord: which endpoint, which request, what blew up, and where.
+type PanicRecord struct {
+	// Stage is the per-endpoint obs stage name
+	// (obs.ServeEndpointStage(endpoint)).
+	Stage string `json:"stage"`
+	// URL is the request URI that triggered the panic.
+	URL string `json:"url"`
+	// Kind is always "panic"; the field keeps the record shape aligned
+	// with core.FailureRecord.
+	Kind string `json:"kind"`
+	// Err is the panic value.
+	Err string `json:"err"`
+	// Stack is the goroutine stack at the recovery point.
+	Stack string `json:"stack,omitempty"`
+}
+
+// recordPanic converts a recovered handler panic into a 500 (when the
+// response has not started), a counter, and a retained PanicRecord.
+func (s *Server) recordPanic(stage, uri string, v any, sw *statusWriter) {
+	s.panics.Add(1)
+	if s.tr.Enabled() {
+		s.tr.Add(obs.CtrServePanics, 1)
+	}
+	rec := PanicRecord{
+		Stage: stage,
+		URL:   uri,
+		Kind:  "panic",
+		Err:   fmt.Sprint(v),
+		Stack: string(debug.Stack()),
+	}
+	s.panicMu.Lock()
+	s.panicLog = append(s.panicLog, rec)
+	if len(s.panicLog) > panicLogCap {
+		s.panicLog = s.panicLog[len(s.panicLog)-panicLogCap:]
+	}
+	s.panicMu.Unlock()
+	if !sw.wrote {
+		s.httpError(sw, http.StatusInternalServerError, "internal error: %v", v)
+	}
+}
+
+// Panics returns a copy of the retained panic records, newest last.
+func (s *Server) Panics() []PanicRecord {
+	s.panicMu.Lock()
+	defer s.panicMu.Unlock()
+	out := make([]PanicRecord, len(s.panicLog))
+	copy(out, s.panicLog)
+	// Stacks are for /api/stats consumers; trim trailing newline noise.
+	for i := range out {
+		out[i].Stack = strings.TrimRight(out[i].Stack, "\n")
+	}
+	return out
+}
+
+// statusWriter tracks whether a handler already started its response, so
+// the recover boundary knows when a 500 can still be written, and what
+// status was sent.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote, w.status = true, code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote, w.status = true, http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -254,6 +653,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 // compile returns the compiled form of expr, consulting the
 // swap-surviving query cache.
 func (s *Server) compile(expr string) (*query.Query, error) {
+	if len(expr) > maxQueryLen {
+		return nil, fmt.Errorf("query too long: %d bytes (limit %d)", len(expr), maxQueryLen)
+	}
 	if q, ok := s.queries.Get(expr); ok {
 		s.compileHits.Add(1)
 		if s.tr.Enabled() {
@@ -303,7 +705,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			limit = n
 		}
 	}
-	ix := s.cur.Load()
+	ix := s.snapshot(w)
+	if ix == nil {
+		return
+	}
 	key := "q\x00" + expr + "\x00" + strconv.Itoa(limit)
 	if body, ok := ix.results.Get(key); ok {
 		s.resultHits.Add(1)
@@ -320,8 +725,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.countQueryEval()
+	ctx := r.Context()
 	resp := QueryResponse{Query: expr, Gen: ix.gen, Results: []Match{}}
-	q.Each(ix.frozen, func(path string, ref pathindex.Ref) bool {
+	err = q.EachContext(ctx, ix.frozen, func(path string, ref pathindex.Ref) bool {
 		if len(resp.Results) >= limit {
 			resp.Truncated = true
 			return false
@@ -334,10 +740,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 		return true
 	})
+	if err != nil {
+		s.timeoutError(w, err)
+		return
+	}
 	if resp.Truncated {
 		// The counting path is allocation-free, so an exact total stays
 		// cheap even when rendering is capped.
-		resp.Total = q.Count(ix.frozen)
+		if resp.Total, err = q.CountContext(ctx, ix.frozen); err != nil {
+			s.timeoutError(w, err)
+			return
+		}
 	} else {
 		resp.Total = len(resp.Results)
 	}
@@ -377,11 +790,19 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ix := s.cur.Load()
+	ix := s.snapshot(w)
+	if ix == nil {
+		return
+	}
 	s.countQueryEval()
 	// Query.Count never materializes the matches — the endpoint stays
 	// allocation-free however many nodes the expression touches.
-	writeJSON(w, CountResponse{Query: expr, Gen: ix.gen, Count: q.Count(ix.frozen)})
+	n, err := q.CountContext(r.Context(), ix.frozen)
+	if err != nil {
+		s.timeoutError(w, err)
+		return
+	}
+	writeJSON(w, CountResponse{Query: expr, Gen: ix.gen, Count: n})
 }
 
 // PathInfo is one row of the /api/paths payload.
@@ -393,7 +814,10 @@ type PathInfo struct {
 }
 
 func (s *Server) handlePaths(w http.ResponseWriter, _ *http.Request) {
-	ix := s.cur.Load()
+	ix := s.snapshot(w)
+	if ix == nil {
+		return
+	}
 	paths := ix.frozen.Paths()
 	out := make([]PathInfo, 0, len(paths))
 	for _, p := range paths {
@@ -409,12 +833,18 @@ func (s *Server) handlePaths(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleDocs(w http.ResponseWriter, _ *http.Request) {
-	ix := s.cur.Load()
+	ix := s.snapshot(w)
+	if ix == nil {
+		return
+	}
 	writeJSON(w, map[string]any{"gen": ix.gen, "count": len(ix.names), "names": ix.names})
 }
 
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
-	ix := s.cur.Load()
+	ix := s.snapshot(w)
+	if ix == nil {
+		return
+	}
 	var i int
 	switch {
 	case r.URL.Query().Get("name") != "":
@@ -442,7 +872,10 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDTD(w http.ResponseWriter, _ *http.Request) {
-	ix := s.cur.Load()
+	ix := s.snapshot(w)
+	if ix == nil {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, ix.dtdText)
 }
@@ -482,7 +915,10 @@ func (s *Server) handleConcept(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ix := s.cur.Load()
+	ix := s.snapshot(w)
+	if ix == nil {
+		return
+	}
 	s.countQueryEval()
 	type agg struct {
 		count int
@@ -493,7 +929,7 @@ func (s *Server) handleConcept(w http.ResponseWriter, r *http.Request) {
 	byVal := make(map[string]*agg)
 	order := []string{}
 	total := 0
-	q.Each(ix.frozen, func(_ string, ref pathindex.Ref) bool {
+	err = q.EachContext(r.Context(), ix.frozen, func(_ string, ref pathindex.Ref) bool {
 		total++
 		v := ref.Node.Val()
 		a := byVal[v]
@@ -506,6 +942,10 @@ func (s *Server) handleConcept(w http.ResponseWriter, r *http.Request) {
 		a.docs[ref.Doc] = struct{}{}
 		return true
 	})
+	if err != nil {
+		s.timeoutError(w, err)
+		return
+	}
 	sort.Strings(order)
 	resp := ConceptResponse{Concept: name, Gen: ix.gen, Total: total, Instances: []Instance{}}
 	for _, v := range order {
@@ -527,44 +967,106 @@ func quoteValue(v string) string {
 
 // Stats is the /api/stats payload.
 type Stats struct {
-	Gen         uint64     `json:"gen"`
-	Docs        int        `json:"docs"`
-	Paths       int        `json:"paths"`
-	Requests    int64      `json:"requests"`
-	Errors      int64      `json:"errors"`
-	QueryEvals  int64      `json:"query_evals"`
-	ResultHits  int64      `json:"result_cache_hits"`
-	CompileHits int64      `json:"compile_cache_hits"`
-	Swaps       int64      `json:"swaps"`
+	Gen      uint64 `json:"gen"`
+	Docs     int    `json:"docs"`
+	Paths    int    `json:"paths"`
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining"`
+
+	Requests    int64 `json:"requests"`
+	Errors      int64 `json:"errors"`
+	QueryEvals  int64 `json:"query_evals"`
+	ResultHits  int64 `json:"result_cache_hits"`
+	CompileHits int64 `json:"compile_cache_hits"`
+	Swaps       int64 `json:"swaps"`
+
+	// Overload & failure hardening totals.
+	Shed           int64  `json:"shed"`
+	Timeouts       int64  `json:"timeouts"`
+	Panics         int64  `json:"panics"`
+	ReloadRejected int64  `json:"reload_rejected"`
+	LastReloadErr  string `json:"last_reload_error,omitempty"`
+	InFlight       int64  `json:"in_flight"`
+	InFlightPeak   int64  `json:"in_flight_peak"`
+	QueueDepth     int64  `json:"queue_depth"`
+
 	QueryCache  memo.Stats `json:"query_cache"`
 	ResultCache memo.Stats `json:"result_cache"`
+
+	// Endpoints carries the per-endpoint latency histograms.
+	Endpoints map[string]obs.HistStats `json:"endpoints,omitempty"`
+
+	// PanicLog is the tail of recovered handler panics (stacks trimmed).
+	PanicLog []PanicRecord `json:"panic_log,omitempty"`
 }
 
-// Stats returns the server's current serving totals.
+// Stats returns the server's current serving totals. It works on a pending
+// server too (zero snapshot identity, live counters).
 func (s *Server) Stats() Stats {
-	ix := s.cur.Load()
-	return Stats{
-		Gen:         ix.gen,
-		Docs:        len(ix.names),
-		Paths:       len(ix.frozen.Paths()),
-		Requests:    s.requests.Load(),
-		Errors:      s.errors.Load(),
-		QueryEvals:  s.queryEvals.Load(),
-		ResultHits:  s.resultHits.Load(),
-		CompileHits: s.compileHits.Load(),
-		Swaps:       s.swaps.Load(),
-		QueryCache:  s.queries.Stats(),
-		ResultCache: ix.results.Stats(),
+	st := Stats{
+		Ready:          s.Ready(),
+		Draining:       s.draining.Load(),
+		Requests:       s.requests.Load(),
+		Errors:         s.errors.Load(),
+		QueryEvals:     s.queryEvals.Load(),
+		ResultHits:     s.resultHits.Load(),
+		CompileHits:    s.compileHits.Load(),
+		Swaps:          s.swaps.Load(),
+		Shed:           s.shed.Load(),
+		Timeouts:       s.timeouts.Load(),
+		Panics:         s.panics.Load(),
+		ReloadRejected: s.reloadRejected.Load(),
+		LastReloadErr:  s.LastReloadError(),
+		QueryCache:     s.queries.Stats(),
 	}
+	if s.adm != nil {
+		st.InFlight = s.adm.inflight.Load()
+		st.InFlightPeak = s.adm.peak.Load()
+		st.QueueDepth = s.adm.queued.Load()
+	}
+	if ix := s.cur.Load(); ix != nil {
+		st.Gen = ix.gen
+		st.Docs = len(ix.names)
+		st.Paths = len(ix.frozen.Paths())
+		st.ResultCache = ix.results.Stats()
+	}
+	st.Endpoints = make(map[string]obs.HistStats, len(s.hist))
+	for name, h := range s.hist {
+		if hs := h.Snapshot(); hs.Count > 0 {
+			st.Endpoints[name] = hs
+		}
+	}
+	st.PanicLog = s.Panics()
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Stats())
 }
 
+// handleHealthz is liveness: the process is up and answering, snapshot or
+// not. Load balancers wanting routability ask /readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	ix := s.cur.Load()
-	writeJSON(w, map[string]any{"status": "ok", "gen": ix.gen, "docs": len(ix.names)})
+	var gen uint64
+	docs := 0
+	if ix := s.cur.Load(); ix != nil {
+		gen, docs = ix.gen, len(ix.names)
+	}
+	writeJSON(w, map[string]any{"status": "ok", "gen": gen, "docs": docs})
+}
+
+// handleReadyz is readiness: 503 until the first snapshot is installed and
+// again from BeginDrain onward, 200 in between.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.httpError(w, http.StatusServiceUnavailable, "draining")
+	case s.cur.Load() == nil:
+		s.httpError(w, http.StatusServiceUnavailable, "no snapshot installed yet")
+	default:
+		ix := s.cur.Load()
+		writeJSON(w, map[string]any{"status": "ready", "gen": ix.gen, "docs": len(ix.names)})
+	}
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
