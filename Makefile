@@ -9,8 +9,8 @@ GO ?= go
 FUZZTIME ?= 5s
 
 .PHONY: build test vet race fuzz bench bench-convert bench-map bench-serve \
-	bench-recrawl bench-stream-short docs-lint chaos chaos-drift chaos-serve \
-	coverage check ci-test ci-race-chaos ci-fuzz-docs
+	bench-recrawl bench-shard bench-stream-short docs-lint chaos chaos-drift \
+	chaos-serve scale-smoke coverage check ci-test ci-race-chaos ci-fuzz-docs
 
 # Packages whose statement coverage is gated in CI (the convert hot path
 # plus the query/serving read path and the discover->mine->map stages).
@@ -99,11 +99,14 @@ bench-serve:
 	$(GO) run ./cmd/webrevd -corpus 200 -seed 1 -bench \
 		-clients 64 -duration 3s -swap-every 500ms -out BENCH_serve.json
 
-# Statement-coverage gate over the hot-path packages. Writes cover.out
-# (published as a CI artifact) and fails below COVER_FLOOR percent.
+# Statement-coverage gate over the hot-path packages. The coverprofile is
+# a build product, not a source: it goes under the git-ignored .cover/
+# directory (published from there as a CI artifact) and fails below
+# COVER_FLOOR percent.
 coverage:
-	$(GO) test -coverprofile cover.out -covermode atomic $(addprefix ./,$(subst webrev/,,$(COVER_PKGS)))
-	$(GO) run ./cmd/covercheck -profile cover.out -floor $(COVER_FLOOR) $(COVER_ARGS)
+	mkdir -p .cover
+	$(GO) test -coverprofile .cover/cover.out -covermode atomic $(addprefix ./,$(subst webrev/,,$(COVER_PKGS)))
+	$(GO) run ./cmd/covercheck -profile .cover/cover.out -floor $(COVER_FLOOR) $(COVER_ARGS)
 
 # One iteration of the batch-vs-streaming build benchmarks over a small
 # corpus: proves the streaming path still runs end to end without paying
@@ -148,6 +151,48 @@ bench-recrawl:
 	$(GO) test -run '^$$' -bench BenchmarkRecrawl -benchmem -count 3 \
 		./internal/watch/ | tee /tmp/bench_recrawl.txt
 	$(GO) run ./cmd/benchdiff -parse -out BENCH_recrawl.json /tmp/bench_recrawl.txt
+
+# Scale-gate parameters. SCALE_BUDGET_KB is the committed peak-RSS budget
+# for the smoke-scale sharded build: the 10k run measures ~51 MB on a
+# clean tree, so 128 MB leaves GC headroom while still failing fast if the
+# flat-memory property breaks (a resident corpus, an unbounded cache).
+SCALE_DOCS ?= 10000
+SCALE_SEED ?= 1
+SCALE_SHARDS ?= 2
+SCALE_BUDGET_KB ?= 131072
+SCALE_CORPUS ?= .scale/corpus
+SCALE_DIR ?= .scale/work
+
+# Scale-smoke gate: a 10k-document, 2-shard, disk-backed build must finish
+# under the committed peak-RSS budget (enforced by cmd/rsscheck around the
+# compiled binary — never `go run`, whose rusage measures the toolchain)
+# and produce output byte-identical to the single-process in-memory build.
+# The corpus is stamped by cmd/corpusgen, so -if-stale reuses it across
+# runs (and the CI cache restores it keyed on the stamp inputs). The
+# -verify pass runs outside the RSS budget: it resumes the already-built
+# shards, then materializes the corpus for the in-memory reference build,
+# which legitimately uses more memory than the gated sharded path.
+scale-smoke:
+	$(GO) build -o bin/webrev ./cmd/webrev
+	$(GO) build -o bin/rsscheck ./cmd/rsscheck
+	$(GO) build -o bin/corpusgen ./cmd/corpusgen
+	bin/corpusgen -n $(SCALE_DOCS) -seed $(SCALE_SEED) -out $(SCALE_CORPUS) -if-stale
+	rm -rf $(SCALE_DIR)
+	bin/rsscheck -budget-kb $(SCALE_BUDGET_KB) bin/webrev scale \
+		-corpus $(SCALE_CORPUS) -shards $(SCALE_SHARDS) -dir $(SCALE_DIR)
+	bin/webrev scale -corpus $(SCALE_CORPUS) -shards $(SCALE_SHARDS) \
+		-dir $(SCALE_DIR) -verify
+
+# Sharded-build scaling snapshot: a smoke-scale synthetic sharded build's
+# wall/rss_kb/disk_bytes rows merged into BENCH_shard.json (the committed
+# file also carries the 100k and 1M sweep rows from `webrev scale
+# -bench-out`). The CI bench-regression job regenerates this row on the PR
+# head and its merge base and gates the wall-clock delta at 25%.
+bench-shard:
+	$(GO) build -o bin/webrev ./cmd/webrev
+	rm -rf .scale/bench
+	bin/webrev scale -n $(SCALE_DOCS) -seed $(SCALE_SEED) -shards $(SCALE_SHARDS) \
+		-dir .scale/bench -bench-out BENCH_shard.json
 
 # CI matrix legs: the workflow splits `make check` into three parallel
 # jobs per Go version. Locally, `make check` remains their union.

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	corpusgen -n 100 -seed 1 -out ./corpus [-truth]
+//	corpusgen -n 100 -seed 1 -out ./corpus [-truth] [-if-stale]
+//
+// A generation run stamps the output directory (.corpusgen-stamp) with the
+// generator version and parameters; -if-stale skips regeneration when the
+// stamp already matches, so CI can cache the corpus between runs keyed on
+// the stamp inputs.
 package main
 
 import (
@@ -17,22 +22,46 @@ import (
 	"webrev/internal/xmlout"
 )
 
+// generatorVersion keys the output cache: bump it whenever
+// internal/corpus changes what any (n, seed) pair produces, so stale
+// cached corpora regenerate.
+const generatorVersion = 1
+
+// stampFile marks a completed generation run and its parameters.
+const stampFile = ".corpusgen-stamp"
+
 func main() {
 	n := flag.Int("n", 100, "number of resumes to generate")
 	seed := flag.Int64("seed", 1, "generator seed (same seed, same corpus)")
 	out := flag.String("out", "corpus", "output directory")
 	truth := flag.Bool("truth", false, "also write ground-truth XML next to each document")
 	distractors := flag.Int("distractors", 0, "additional off-topic pages")
+	ifStale := flag.Bool("if-stale", false, "skip generation when the output directory's stamp already matches")
 	flag.Parse()
 
-	if err := run(*n, *seed, *out, *truth, *distractors); err != nil {
+	if err := run(*n, *seed, *out, *truth, *distractors, *ifStale); err != nil {
 		fmt.Fprintln(os.Stderr, "corpusgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64, out string, truth bool, distractors int) error {
+func run(n int, seed int64, out string, truth bool, distractors int, ifStale bool) error {
+	stamp := fmt.Sprintf("corpusgen v%d n=%d seed=%d truth=%t distractors=%d\n",
+		generatorVersion, n, seed, truth, distractors)
+	stampPath := filepath.Join(out, stampFile)
+	if ifStale {
+		if prev, err := os.ReadFile(stampPath); err == nil && string(prev) == stamp {
+			fmt.Printf("corpus in %s up to date (stamp matches), skipping generation\n", out)
+			return nil
+		}
+	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	// A stale stamp means a half-finished or differently-parameterized run
+	// may be on disk; remove it first so a crash mid-generation can never
+	// masquerade as a complete corpus.
+	if err := os.Remove(stampPath); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	g := corpus.New(corpus.Options{Seed: seed})
@@ -52,6 +81,9 @@ func run(n int, seed int64, out string, truth bool, distractors int) error {
 		if err := os.WriteFile(name, []byte(g.Distractor()), 0o644); err != nil {
 			return err
 		}
+	}
+	if err := os.WriteFile(stampPath, []byte(stamp), 0o644); err != nil {
+		return err
 	}
 	fmt.Printf("wrote %d resumes%s to %s\n", n, distractorNote(distractors), out)
 	return nil

@@ -9,7 +9,7 @@ import (
 
 func TestRunWritesCorpus(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(5, 1, dir, true, 2); err != nil {
+	if err := run(5, 1, dir, true, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -32,7 +32,7 @@ func TestRunWritesCorpus(t *testing.T) {
 	}
 	// Deterministic: same seed reproduces byte-identical documents.
 	dir2 := t.TempDir()
-	if err := run(5, 1, dir2, false, 0); err != nil {
+	if err := run(5, 1, dir2, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	a, _ := os.ReadFile(filepath.Join(dir, "resume-0001.html"))
@@ -43,8 +43,33 @@ func TestRunWritesCorpus(t *testing.T) {
 }
 
 func TestRunBadDir(t *testing.T) {
-	if err := run(1, 1, "/proc/definitely/not/writable", false, 0); err == nil {
+	if err := run(1, 1, "/proc/definitely/not/writable", false, 0, false); err == nil {
 		t.Fatal("expected error for unwritable directory")
+	}
+}
+
+func TestRunStampSkipsWhenFresh(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(3, 7, dir, false, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	doc := filepath.Join(dir, "resume-0001.html")
+	if err := os.WriteFile(doc, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Matching stamp: -if-stale skips, leaving the (tampered) file alone.
+	if err := run(3, 7, dir, false, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(doc); string(b) != "tampered" {
+		t.Fatal("fresh stamp should have skipped regeneration")
+	}
+	// Different parameters: the stamp mismatches and the corpus regenerates.
+	if err := run(3, 8, dir, false, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(doc); string(b) == "tampered" {
+		t.Fatal("stale stamp should have regenerated the corpus")
 	}
 }
 

@@ -7,7 +7,8 @@
 //	webrev convert  [-root resume] file.html...        # HTML -> XML on stdout
 //	webrev schema   [-sup 0.5] [-ratio 0.1] file.html...
 //	webrev dtd      [-sup 0.5] [-ratio 0.1] file.html...
-//	webrev build    [-out dir] [-metrics snap.json] [-pprof addr] file.html...
+//	webrev build    [-out dir] [-shards N] [-store mem|disk] [-metrics snap.json] [-pprof addr] file.html...
+//	webrev scale    -dir WORK [-corpus DIR | -n N] [-shards N] [-max-resident N] [-verify] [-bench-out FILE]
 //	webrev quarantine -dir DIR [list|replay]           # inspect / replay failed documents
 //	webrev watch -seed URL [-checkpoint DIR] [-cycles N] [-interval 15m] [-drift FILE] [-out dir]
 //	webrev experiments [-run E1,...] [-docs N] [-seed N] [-metrics snap.json] [-pprof addr]
@@ -26,6 +27,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -56,6 +58,8 @@ func main() {
 		err = cmdSchema(os.Args[2:], true, os.Stdout)
 	case "build":
 		err = cmdBuild(os.Args[2:], os.Stdout)
+	case "scale":
+		err = cmdScale(os.Args[2:], os.Stdout)
 	case "query":
 		err = cmdQuery(os.Args[2:], os.Stdout)
 	case "suggest":
@@ -87,6 +91,9 @@ commands:
   schema       discover the majority schema over HTML files
   dtd          derive the DTD over HTML files
   build        full pipeline: convert, discover, derive, conform
+               (-shards N -store disk shards the build onto a disk-backed store)
+  scale        sharded disk-backed build at scale: lazy sources, flat RSS,
+               wall/RSS/disk bench rows, optional byte-identity verify
   query        evaluate a label-path query against a built repository
   suggest      propose new concept instances from unidentified text
   quarantine   list documents a build quarantined, or replay them after a fix
@@ -221,8 +228,15 @@ func cmdBuild(args []string, w io.Writer) error {
 	sup := fs.Float64("sup", 0.5, "support threshold")
 	ratio := fs.Float64("ratio", 0.1, "support-ratio threshold")
 	out := fs.String("out", "", "directory for the conformed XML repository")
+	shards := fs.Int("shards", 1, "shard the build across N independent workers (implies -store disk)")
+	store := fs.String("store", "mem", "document store backing the build: mem or disk")
+	shardDir := fs.String("shard-dir", "", "working directory for the sharded build (default: a temp directory)")
+	maxResident := fs.Int("max-resident", repository.DefaultMaxResidentDocs, "decoded-document LRU bound of the disk store")
 	metricsOut, pprofAddr := obsFlags(fs)
 	fs.Parse(args)
+	if *store != "mem" && *store != "disk" {
+		return fmt.Errorf("unknown -store %q (want mem or disk)", *store)
+	}
 	coll := obs.NewCollector()
 	var tr obs.Tracer
 	if *metricsOut != "" || *pprofAddr != "" {
@@ -239,6 +253,9 @@ func cmdBuild(args []string, w io.Writer) error {
 	srcs, err := readSources(fs.Args())
 	if err != nil {
 		return err
+	}
+	if *shards > 1 || *store == "disk" {
+		return buildSharded(p, srcs, *shards, *shardDir, *maxResident, *out, coll, tr != nil, w, finish)
 	}
 	repo, err := p.Build(srcs)
 	if err != nil {
@@ -260,6 +277,44 @@ func cmdBuild(args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %d XML documents and schema.dtd to %s\n", stored.Len(), *out)
+	return finish()
+}
+
+// buildSharded is cmdBuild's disk-backed path (-shards / -store disk): the
+// sharded driver converts and maps through per-shard disk segments and the
+// final repository lives in shard-dir/final as a disk store.
+func buildSharded(p *core.Pipeline, srcs []core.Source, shards int, dir string, maxResident int, out string, coll *obs.Collector, traced bool, w io.Writer, finish func() error) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "webrev-shards-")
+		if err != nil {
+			return err
+		}
+		dir = tmp
+	}
+	res, err := p.BuildSharded(context.Background(), srcs, core.ShardOptions{
+		Shards: shards,
+		Dir:    dir,
+		Store:  repository.DiskOptions{MaxResidentDocs: maxResident},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sharded build: %d documents in %d shards; DTD %d elements; %d bytes on disk\n",
+		res.Repo.Len(), shards, res.DTD.Len(), res.BytesOnDisk)
+	if len(res.Quarantined) > 0 || len(res.Degraded) > 0 {
+		fmt.Fprintf(w, "%d quarantined, %d degraded\n", len(res.Quarantined), len(res.Degraded))
+	}
+	if traced {
+		fmt.Fprint(w, coll.Snapshot().Summary())
+	}
+	fmt.Fprint(w, res.DTD.Render())
+	fmt.Fprintf(w, "disk repository at %s\n", filepath.Join(dir, "final"))
+	if out != "" {
+		if err := res.Repo.Save(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d XML documents and schema.dtd to %s\n", res.Repo.Len(), out)
+	}
 	return finish()
 }
 

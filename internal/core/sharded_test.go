@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"webrev/internal/faultinject"
+	"webrev/internal/obs"
+	"webrev/internal/repository"
+	"webrev/internal/xmlout"
+)
+
+// renderDiskRepo flattens a stored repository (any Store backing) to its
+// deterministic text artifacts, mirroring renderRepo for built ones.
+func renderDiskRepo(t *testing.T, r *repository.Repository) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(r.DTD().Render())
+	for i := 0; i < r.Len(); i++ {
+		b.WriteString(r.Store().Name(i))
+		b.WriteString("\n")
+		xml, err := r.Store().XML(i)
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		b.Write(xml)
+	}
+	return b.String()
+}
+
+// singleProcessRepo is the reference output: the batch in-memory build
+// exported to a repository.
+func singleProcessRepo(t *testing.T, sources []Source) *repository.Repository {
+	t.Helper()
+	repo, err := resumePipeline(t).BuildRepository(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// TestShardRangePartition: shard ranges are a contiguous partition of
+// [0, n) in shard order, for every split.
+func TestShardRangePartition(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 100, 101} {
+		for shards := 1; shards <= 9 && shards <= n; shards++ {
+			next := 0
+			for i := 0; i < shards; i++ {
+				start, end := shardRange(n, shards, i)
+				if start != next || end < start {
+					t.Fatalf("n=%d shards=%d: shard %d range [%d,%d), want start %d", n, shards, i, start, end, next)
+				}
+				next = end
+			}
+			if next != n {
+				t.Fatalf("n=%d shards=%d: ranges cover [0,%d), want [0,%d)", n, shards, next, n)
+			}
+		}
+	}
+}
+
+// TestBuildShardedMatchesBuild is the tentpole contract: 2-shard and
+// 8-shard disk-backed builds produce a repository, DTD, and conformed XML
+// byte-identical to the single-process in-memory build — and a re-run over
+// the same directory (which resumes every shard's completed state) again.
+func TestBuildShardedMatchesBuild(t *testing.T) {
+	sources := streamSources(30, 17)
+	want := renderDiskRepo(t, singleProcessRepo(t, sources))
+
+	for _, shards := range []int{1, 2, 8} {
+		dir := t.TempDir()
+		for pass, label := range []string{"fresh", "rerun"} {
+			res, err := resumePipeline(t).BuildSharded(context.Background(), sources, ShardOptions{
+				Shards:          shards,
+				Dir:             dir,
+				CheckpointEvery: 5,
+			})
+			if err != nil {
+				t.Fatalf("shards=%d %s: %v", shards, label, err)
+			}
+			if got := renderDiskRepo(t, res.Repo); got != want {
+				t.Fatalf("shards=%d %s: sharded output differs from single-process build", shards, label)
+			}
+			if res.TotalInput != len(sources) || len(res.Quarantined) != 0 {
+				t.Fatalf("shards=%d %s: input %d, quarantined %d", shards, label, res.TotalInput, len(res.Quarantined))
+			}
+			if err := res.Repo.Store().Close(); err != nil {
+				t.Fatal(err)
+			}
+			// The final directory is a self-contained disk repository.
+			if pass == 0 {
+				reloaded, err := repository.LoadDisk(dir+"/final", repository.DiskOptions{})
+				if err != nil {
+					t.Fatalf("shards=%d: LoadDisk: %v", shards, err)
+				}
+				if got := renderDiskRepo(t, reloaded); got != want {
+					t.Fatalf("shards=%d: LoadDisk output differs", shards)
+				}
+				reloaded.Store().Close()
+			}
+		}
+	}
+}
+
+// TestBuildShardedKillResume kills one shard mid-convert (after its last
+// checkpoint) and checks the next build over the same directory resumes
+// from the checkpoint and still produces byte-identical output.
+func TestBuildShardedKillResume(t *testing.T) {
+	sources := streamSources(30, 17)
+	want := renderDiskRepo(t, singleProcessRepo(t, sources))
+	dir := t.TempDir()
+
+	coll := obs.NewCollector()
+	p, err := New(streamConfig(coll, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.BuildSharded(context.Background(), sources, ShardOptions{
+		Shards:          2,
+		Dir:             dir,
+		CheckpointEvery: 4,
+		kill: func(shard, done int) bool {
+			// Die between checkpoints, so the unflushed tail of the segment
+			// is lost and resume must truncate back to the checkpoint.
+			return shard == 1 && done == 7
+		},
+	})
+	if !errors.Is(err, errShardKilled) {
+		t.Fatalf("killed build returned %v, want errShardKilled", err)
+	}
+
+	res, err := p.BuildSharded(context.Background(), sources, ShardOptions{
+		Shards:          2,
+		Dir:             dir,
+		CheckpointEvery: 4,
+	})
+	if err != nil {
+		t.Fatalf("resumed build: %v", err)
+	}
+	defer res.Repo.Store().Close()
+	if got := renderDiskRepo(t, res.Repo); got != want {
+		t.Fatal("kill+resume output differs from single-process build")
+	}
+	if got := coll.Snapshot().Counters[obs.CtrShardsResumed]; got < 1 {
+		t.Fatalf("shard.resumed = %d, want >= 1", got)
+	}
+}
+
+// TestBuildShardedEvictionIdentical: a 1-document LRU cap on every decoded
+// read path never changes build output, and the resulting repository still
+// answers queries identically to the in-memory one.
+func TestBuildShardedEvictionIdentical(t *testing.T) {
+	sources := streamSources(20, 23)
+	single := singleProcessRepo(t, sources)
+	want := renderDiskRepo(t, single)
+
+	res, err := resumePipeline(t).BuildSharded(context.Background(), sources, ShardOptions{
+		Shards: 2,
+		Dir:    t.TempDir(),
+		Store:  repository.DiskOptions{MaxResidentDocs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Store().Close()
+	if got := renderDiskRepo(t, res.Repo); got != want {
+		t.Fatal("1-doc LRU cap changed build output")
+	}
+	// Query through the path index (which decodes every document through
+	// the 1-doc LRU) and compare counts against the in-memory repository.
+	for _, expr := range []string{"//name", "//education//degree", "//skill"} {
+		got, err := res.Repo.Count(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantN, err := single.Count(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantN {
+			t.Fatalf("query %q: %d matches on disk repo, %d in memory", expr, got, wantN)
+		}
+	}
+}
+
+// TestBuildShardedChaosQuarantine: injected conversion faults quarantine
+// documents in the sharded build exactly as in the single-process build,
+// and the surviving output stays byte-identical.
+func TestBuildShardedChaosQuarantine(t *testing.T) {
+	sources := chaosSources(40, 21)
+	newInjector := func() *faultinject.Stage {
+		return faultinject.NewStage(faultinject.StageConfig{
+			Seed:   1,
+			Rate:   0.2,
+			Stages: []string{obs.StageConvert},
+		})
+	}
+	cfg := chaosConfig(newInjector(), nil)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.BuildSharded(context.Background(), sources, ShardOptions{
+		Shards:          4,
+		Dir:             t.TempDir(),
+		CheckpointEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Store().Close()
+	if len(res.Quarantined) == 0 {
+		t.Fatal("injector fired no faults; test is vacuous")
+	}
+
+	singleCfg := chaosConfig(newInjector(), nil)
+	sp, err := New(singleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := sp.BuildRepository(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderDiskRepo(t, res.Repo), renderDiskRepo(t, single); got != want {
+		t.Fatal("sharded chaos output differs from single-process chaos build")
+	}
+}
+
+// TestDiskStoreRoundTripsGoldenCorpus: every converted document of the
+// golden corpus — including documents degraded by resource limits — stores
+// and reloads byte-identically through the disk store.
+func TestDiskStoreRoundTripsGoldenCorpus(t *testing.T) {
+	sources := streamSources(12, 99) // the golden corpus parameters
+	cfg := streamConfig(nil, 0, 0)
+	cfg.Limits = Limits{MaxTokens: 60} // force at least one degraded doc
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := repository.CreateDiskStore(dir, repository.DiskOptions{MaxResidentDocs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	degraded := 0
+	for i, s := range sources {
+		d, deg, failed := p.ConvertSource(s)
+		if failed != nil {
+			t.Fatalf("%s: %v", s.Name, failed)
+		}
+		if deg != nil {
+			degraded++
+		}
+		xml := []byte(xmlout.Marshal(d.XML))
+		want = append(want, xml)
+		if err := store.AppendXML(fmt.Sprintf("doc-%d", i), xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no degraded documents; tighten Limits so the test covers them")
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err = repository.OpenDiskStore(dir, repository.DiskOptions{MaxResidentDocs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for i, w := range want {
+		got, err := store.XML(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("doc %d raw bytes differ after reload", i)
+		}
+		root, err := store.Doc(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xmlout.Marshal(root) != string(w) {
+			t.Fatalf("doc %d decode+marshal differs after reload", i)
+		}
+	}
+}
+
+// TestBuildShardedLazySources: the BuildShardedFrom provider is called
+// lazily per index and the output matches the eager slice path.
+func TestBuildShardedLazySources(t *testing.T) {
+	sources := streamSources(15, 31)
+	want := renderDiskRepo(t, singleProcessRepo(t, sources))
+	var calls int64
+	res, err := resumePipeline(t).BuildShardedFrom(context.Background(), len(sources), func(i int) (Source, error) {
+		atomic.AddInt64(&calls, 1)
+		return sources[i], nil
+	}, ShardOptions{Shards: 3, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Store().Close()
+	if got := renderDiskRepo(t, res.Repo); got != want {
+		t.Fatal("lazy-source sharded build differs from single-process build")
+	}
+	if calls != int64(len(sources)) {
+		t.Fatalf("provider called %d times, want %d", calls, len(sources))
+	}
+}

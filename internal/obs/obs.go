@@ -19,7 +19,10 @@
 // experiment harness, golden tests) agree on the vocabulary.
 package obs
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Span is one in-flight timed region. End stops it; End on the zero span or
 // a span from the no-op tracer does nothing, so spans can be ended
@@ -74,7 +77,25 @@ const (
 	// recrawl, delta fold, incremental re-derive, drift report) of the
 	// watch loop (internal/watch).
 	StageWatch = "watch.cycle"
+	// StageShardConvert times one shard worker's whole convert+fold pass
+	// over its source range in a sharded build (core.BuildSharded). The
+	// per-shard span names come from ShardStage.
+	StageShardConvert = "shard.convert"
+	// StageShardMap times one shard worker's whole DTD-guided mapping pass
+	// over its converted segment in a sharded build.
+	StageShardMap = "shard.map"
+	// StageShardMerge times folding the per-shard conformed segments into
+	// the final content-addressed store of a sharded build.
+	StageShardMerge = "shard.merge"
 )
+
+// ShardStage returns the per-shard stage name under which one shard
+// worker's phase is timed, e.g. ShardStage(StageShardConvert, 3) ==
+// "shard.convert.003". The unsuffixed phase constants aggregate across
+// shards.
+func ShardStage(phase string, shard int) string {
+	return fmt.Sprintf("%s.%03d", phase, shard)
+}
 
 // PipelineStages lists the stages a full Build exercises, in order.
 var PipelineStages = []string{StageConvert, StageExtract, StageMine, StageDerive, StageMap}
@@ -144,6 +165,21 @@ const (
 	// CtrServeDrains counts graceful-drain sequences started (SIGTERM or an
 	// explicit Daemon.Drain).
 	CtrServeDrains = "serve.drains"
+	// Disk-backed document store counters (internal/repository.DiskStore).
+	// CtrStoreHits counts decoded-DOM reads served from the store's LRU.
+	CtrStoreHits = "store.hits"
+	// CtrStoreMisses counts decoded-DOM reads that had to load and parse
+	// the XML blob from disk.
+	CtrStoreMisses = "store.misses"
+	// CtrStoreEvictions counts decoded DOMs dropped from the LRU to stay
+	// under the MaxResidentDocs bound.
+	CtrStoreEvictions = "store.evictions"
+	// CtrStoreDeduped counts appended documents whose content hash matched
+	// an existing blob, so no new segment bytes were written.
+	CtrStoreDeduped = "store.deduped"
+	// CtrShardsResumed counts shard workers of a sharded build that resumed
+	// from a previous run's checkpoint instead of starting fresh.
+	CtrShardsResumed = "shard.resumed"
 )
 
 // Canonical gauge names. Gauges record point-in-time levels (Set), not

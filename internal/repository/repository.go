@@ -2,7 +2,9 @@
 // feeds (paper §1: "integration of topic specific HTML documents into a
 // repository of XML documents"). A repository couples a derived DTD with
 // the conformant documents, persists both to disk, loads them back, and
-// answers label-path queries through the path index.
+// answers label-path queries through the path index. Documents live behind
+// the Store interface, so a repository can keep them fully in memory
+// (MemStore) or disk-backed with a bounded resident set (DiskStore).
 package repository
 
 import (
@@ -22,29 +24,48 @@ import (
 // Repository is a set of DTD-conformant XML documents.
 type Repository struct {
 	dtd   *dtd.DTD
-	names []string
-	docs  []*dom.Node
+	store Store
 	index *pathindex.Index // built lazily, invalidated by Add
 }
 
-// New returns an empty repository governed by the given DTD.
-func New(d *dtd.DTD) *Repository { return &Repository{dtd: d} }
+// New returns an empty in-memory repository governed by the given DTD.
+func New(d *dtd.DTD) *Repository { return NewWithStore(d, NewMemStore()) }
+
+// NewWithStore returns a repository governed by the given DTD whose
+// documents live in s. The store may already hold documents (e.g. a
+// DiskStore produced by a sharded build); they are trusted to conform.
+func NewWithStore(d *dtd.DTD, s Store) *Repository {
+	return &Repository{dtd: d, store: s}
+}
 
 // DTD returns the governing DTD.
 func (r *Repository) DTD() *dtd.DTD { return r.dtd }
 
+// Store returns the backing document store.
+func (r *Repository) Store() Store { return r.store }
+
 // Len returns the number of stored documents.
-func (r *Repository) Len() int { return len(r.docs) }
+func (r *Repository) Len() int { return r.store.Len() }
 
 // Names returns the stored document names in insertion order.
 func (r *Repository) Names() []string {
-	out := make([]string, len(r.names))
-	copy(out, r.names)
+	out := make([]string, r.store.Len())
+	for i := range out {
+		out[i] = r.store.Name(i)
+	}
 	return out
 }
 
-// Doc returns the i-th document.
-func (r *Repository) Doc(i int) *dom.Node { return r.docs[i] }
+// Doc returns the i-th document. On a disk-backed store a read failure
+// (torn file, out-of-range index) returns nil; callers that need the error
+// read through Store().Doc directly.
+func (r *Repository) Doc(i int) *dom.Node {
+	d, err := r.store.Doc(i)
+	if err != nil {
+		return nil
+	}
+	return d
+}
 
 // Add validates doc against the DTD and stores it. Non-conforming
 // documents are rejected — map them first (internal/mapping.Conform).
@@ -52,17 +73,24 @@ func (r *Repository) Add(name string, doc *dom.Node) error {
 	if errs := r.dtd.Validate(doc); len(errs) > 0 {
 		return fmt.Errorf("repository: %q does not conform: %v", name, errs[0])
 	}
-	r.names = append(r.names, name)
-	r.docs = append(r.docs, doc)
+	if err := r.store.Append(name, doc); err != nil {
+		return err
+	}
 	r.index = nil
 	return nil
 }
 
 // Index returns the label-path index over the stored documents, building
-// it on first use.
+// it on first use. Building decodes every document once; with a disk
+// store the trees stream through the bounded LRU rather than staying
+// resident (the index itself holds only label paths and refs).
 func (r *Repository) Index() *pathindex.Index {
 	if r.index == nil {
-		r.index = pathindex.Build(r.docs)
+		docs := make([]*dom.Node, r.store.Len())
+		for i := range docs {
+			docs[i], _ = r.store.Doc(i)
+		}
+		r.index = pathindex.Build(docs)
 	}
 	return r.index
 }
@@ -93,7 +121,9 @@ const (
 )
 
 // Save writes the repository to dir: schema.dtd, one XML file per document,
-// and a manifest mapping files to original names.
+// and a manifest mapping files to original names. Documents are copied out
+// as their canonical XML bytes, so saving a disk-backed repository never
+// decodes them.
 func (r *Repository) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -102,26 +132,47 @@ func (r *Repository) Save(dir string) error {
 		return err
 	}
 	var manifest strings.Builder
-	for i, doc := range r.docs {
+	for i := 0; i < r.store.Len(); i++ {
 		file := fmt.Sprintf("doc-%05d.xml", i)
-		if err := writeDoc(filepath.Join(dir, file), doc); err != nil {
+		xml, err := r.store.XML(i)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(&manifest, "%s\t%s\n", file, r.names[i])
+		if err := os.WriteFile(filepath.Join(dir, file), xml, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(&manifest, "%s\t%s\n", file, r.store.Name(i))
 	}
 	return os.WriteFile(filepath.Join(dir, manifestFile), []byte(manifest.String()), 0o644)
 }
 
-func writeDoc(path string, doc *dom.Node) error {
-	f, err := os.Create(path)
+// SaveDTDFile writes the rendered DTD into dir under the standard
+// schema.dtd name, making a disk store's directory a self-contained
+// repository for LoadDisk. The sharded build (core.BuildSharded) calls
+// this on its final segment directory.
+func SaveDTDFile(dir string, d *dtd.DTD) error {
+	return os.WriteFile(filepath.Join(dir, dtdFile), []byte(d.Render()), 0o644)
+}
+
+// LoadDisk opens a disk-backed repository: the DTD from dir/schema.dtd and
+// the documents from the disk store (index.log + segment.blob) in the same
+// directory. Documents are not re-validated — they were validated when the
+// store was built — so opening is O(index size), independent of corpus
+// volume.
+func LoadDisk(dir string, opts DiskOptions) (*Repository, error) {
+	dtdText, err := os.ReadFile(filepath.Join(dir, dtdFile))
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("repository: %w", err)
 	}
-	if err := xmlout.MarshalTo(f, doc); err != nil {
-		f.Close()
-		return err
+	d, err := dtd.Parse(string(dtdText))
+	if err != nil {
+		return nil, err
 	}
-	return f.Close()
+	s, err := OpenDiskStore(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(d, s), nil
 }
 
 // Load reads a repository previously written by Save. Every document is
